@@ -1,0 +1,41 @@
+"""Ablation: the performance cost of commercial Chipkill (Fig. 1b, §II-B).
+
+Chipkill on x8 DIMMs lock-steps two channels, halving channel-level
+parallelism. Synergy reaches chip-failure tolerance on a *single* channel,
+which is the paper's argument for why its reliability comes at negative
+performance cost rather than Chipkill's slowdown.
+"""
+
+from repro.harness.report import render_table
+from repro.harness.scales import resolve_scale
+from repro.secure.designs import CHIPKILL_SECURE, SGX_O, SYNERGY
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_suite
+from repro.workloads.suites import workload_suite
+
+
+def run(scale):
+    config = SystemConfig(accesses_per_core=scale.accesses_per_core)
+    table = run_suite(
+        [SGX_O, CHIPKILL_SECURE, SYNERGY], workload_suite(scale.suite), config
+    )
+    return {
+        name: table.gmean_speedup(name, "SGX_O")
+        for name in ("Chipkill_Secure", "Synergy")
+    }
+
+
+def test_chipkill_perf(benchmark, scale):
+    scale = resolve_scale(scale)
+    speedups = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+    print(
+        render_table(
+            ["design", "gmean speedup vs SGX_O"],
+            [[name, "%.3f" % value] for name, value in speedups.items()],
+            "Chipkill performance ablation: lock-step vs single-channel",
+        )
+    )
+    # Chipkill pays for reliability with performance; Synergy gets paid.
+    assert speedups["Chipkill_Secure"] < 1.0
+    assert speedups["Synergy"] > 1.0
+    assert speedups["Synergy"] > speedups["Chipkill_Secure"]

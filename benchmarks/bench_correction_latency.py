@@ -1,0 +1,19 @@
+"""Ablation: correction latency under a permanent chip failure (§IV-A).
+
+Paper: up to 88 MAC computations per access on a failed chip, dropping to 1
+once the faulty-chip tracker pre-corrects.
+"""
+
+from repro.harness.experiments import ablation_correction_latency
+
+
+def test_correction_latency(benchmark):
+    out = benchmark.pedantic(
+        ablation_correction_latency,
+        kwargs={"quiet": True},
+        rounds=1,
+        iterations=1,
+    )
+    ablation_correction_latency()
+    assert out["max_macs"] <= 88
+    assert out["steady_state_macs"] <= 2

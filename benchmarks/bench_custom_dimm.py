@@ -1,0 +1,52 @@
+"""Ablation: the custom-DIMM extension of §VI-B.
+
+The paper notes that a DIMM providing 16 metadata bytes per 64-byte line
+could co-locate MAC *and* parity with data, removing Synergy's remaining
+parity-update traffic on writes. This bench quantifies that headroom:
+Synergy_Custom should meet or beat Synergy, with zero parity traffic.
+"""
+
+from repro.harness.report import render_table
+from repro.harness.scales import resolve_scale
+from repro.secure.designs import SGX_O, SYNERGY, SYNERGY_CUSTOM
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_suite
+from repro.workloads.suites import workload_suite
+
+
+def run(scale):
+    config = SystemConfig(accesses_per_core=scale.accesses_per_core)
+    table = run_suite(
+        [SGX_O, SYNERGY, SYNERGY_CUSTOM], workload_suite(scale.suite), config
+    )
+    out = {
+        name: table.gmean_speedup(name, "SGX_O")
+        for name in ("Synergy", "Synergy_Custom")
+    }
+    parity_apki = {
+        name: sum(
+            table.get(name, w).traffic_per_kilo_instruction().get("parity_write", 0)
+            for w in table.workloads()
+        )
+        for name in ("Synergy", "Synergy_Custom")
+    }
+    return out, parity_apki
+
+
+def test_custom_dimm(benchmark, scale):
+    scale = resolve_scale(scale)
+    (speedups, parity_apki) = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+    print(
+        render_table(
+            ["design", "gmean speedup vs SGX_O", "parity writes/ki (sum)"],
+            [
+                [name, "%.3f" % speedups[name], "%.1f" % parity_apki[name]]
+                for name in speedups
+            ],
+            "Custom-DIMM ablation (§VI-B): co-locating MAC + parity",
+        )
+    )
+    assert parity_apki["Synergy_Custom"] == 0.0
+    assert speedups["Synergy_Custom"] >= speedups["Synergy"]

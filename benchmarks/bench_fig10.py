@@ -1,0 +1,16 @@
+"""Figure 10: power / performance / energy / EDP, normalised to SGX_O.
+
+Paper: power ~flat, Synergy EDP ~0.69x.
+"""
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10(benchmark, scale):
+    out = benchmark.pedantic(
+        fig10, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig10(scale)
+    assert out["Synergy"]["edp"] < 1.0
+    assert out["SGX"]["edp"] > 1.0
+    assert 0.8 < out["Synergy"]["power"] < 1.2  # power roughly flat

@@ -1,0 +1,17 @@
+"""Figure 11: probability of system failure over 7 years.
+
+Paper: Chipkill 37x and Synergy 185x lower than SECDED; Synergy ~5x
+better than Chipkill.
+"""
+
+from repro.harness.experiments import fig11
+
+
+def test_fig11(benchmark, scale):
+    out = benchmark.pedantic(
+        fig11, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig11(scale)
+    assert out["SECDED"] > out["Chipkill"] > out["Synergy"]
+    assert out["ratio_Chipkill"] > 10
+    assert out["ratio_Synergy"] > 50

@@ -1,0 +1,17 @@
+"""Figure 12: sensitivity to channel count (2 -> 8).
+
+Paper: Synergy's gmean speedup shrinks from ~1.20 to ~1.06 as channels
+increase; SGX's slowdown also narrows.
+"""
+
+from repro.harness.experiments import fig12
+
+
+def test_fig12(benchmark, scale):
+    out = benchmark.pedantic(
+        fig12, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig12(scale)
+    assert out[2]["Synergy"] > out[8]["Synergy"]  # gain shrinks
+    assert out[8]["Synergy"] >= 1.0  # but never hurts
+    assert out[2]["SGX"] < out[8]["SGX"]  # slowdown narrows

@@ -1,0 +1,17 @@
+"""Figure 13: Synergy speedup with monolithic vs split counters.
+
+Paper: split counters give ~3% extra Synergy speedup (better counter
+cacheability makes MACs a larger share of the remaining bloat).
+"""
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13(benchmark, scale):
+    out = benchmark.pedantic(
+        fig13, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig13(scale)
+    assert out["monolithic"] > 1.0
+    assert out["split"] > 1.0
+    assert out["split"] >= out["monolithic"] * 0.97  # split at least on par

@@ -1,0 +1,17 @@
+"""Figure 14: Synergy speedup vs counter caching policy.
+
+Paper: 20% speedup when counters use dedicated+LLC caching, 13% when they
+use only the dedicated cache (counter traffic dilutes the MAC share).
+"""
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14(benchmark, scale):
+    out = benchmark.pedantic(
+        fig14, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig14(scale)
+    assert out["dedicated+LLC"] > 1.0
+    assert out["dedicated-only"] > 1.0
+    assert out["dedicated+LLC"] > out["dedicated-only"]

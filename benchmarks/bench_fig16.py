@@ -1,0 +1,16 @@
+"""Figure 16: IVEC vs Synergy (performance and EDP vs SGX_O).
+
+Paper: IVEC ~0.74x performance / ~1.9x EDP; Synergy ~1.20x / ~0.69x.
+"""
+
+from repro.harness.experiments import fig16
+
+
+def test_fig16(benchmark, scale):
+    out = benchmark.pedantic(
+        fig16, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig16(scale)
+    assert out["IVEC"]["performance"] < 1.0  # IVEC slower than SGX_O
+    assert out["Synergy"]["performance"] > 1.0
+    assert out["IVEC"]["edp"] > out["Synergy"]["edp"]

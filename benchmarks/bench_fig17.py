@@ -1,0 +1,16 @@
+"""Figure 17: LOT-ECC (with/without write coalescing) vs Synergy.
+
+Paper: LOT-ECC 15-20% slower than SGX_O; Synergy 20% faster.
+"""
+
+from repro.harness.experiments import fig17
+
+
+def test_fig17(benchmark, scale):
+    out = benchmark.pedantic(
+        fig17, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig17(scale)
+    assert out["LOTECC"]["performance"] < 1.0
+    assert out["LOTECC_WC"]["performance"] >= out["LOTECC"]["performance"]
+    assert out["Synergy"]["performance"] > 1.0

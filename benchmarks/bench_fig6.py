@@ -1,0 +1,14 @@
+"""Figure 6: SGX / SGX_O / Non-Secure motivation comparison.
+
+Paper: Non-Secure ~2.12x SGX_O; SGX ~0.70x SGX_O (gmean).
+"""
+
+from repro.harness.experiments import fig6
+
+
+def test_fig6(benchmark, scale):
+    summary = benchmark.pedantic(
+        fig6, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig6(scale)
+    assert summary["SGX"] < 1.0 < summary["NonSecure"]

@@ -1,0 +1,15 @@
+"""Figure 8: the headline result — Synergy vs SGX vs SGX_O IPC.
+
+Paper: Synergy +20% over SGX_O (gmean, 29 workloads); SGX -30%.
+"""
+
+from repro.harness.experiments import fig8
+
+
+def test_fig8(benchmark, scale):
+    summary = benchmark.pedantic(
+        fig8, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig8(scale)
+    assert summary["Synergy"] > 1.0  # Synergy wins
+    assert summary["SGX"] < 1.0  # SGX loses

@@ -1,0 +1,17 @@
+"""Figure 9: memory traffic by access type, normalised per kilo-instruction.
+
+Paper: Synergy removes MAC reads/writes, adds parity writes; ~18% lower
+total traffic than SGX_O.
+"""
+
+from repro.harness.experiments import fig9
+
+
+def test_fig9(benchmark, scale):
+    breakdown = benchmark.pedantic(
+        fig9, args=(scale,), kwargs={"quiet": True}, rounds=1, iterations=1
+    )
+    fig9(scale)
+    assert breakdown["Synergy"]["mac_read"] == 0.0
+    assert breakdown["Synergy"]["parity_write"] > 0.0
+    assert breakdown["synergy_reduction"]["total"] > 0.05

@@ -1,0 +1,9 @@
+"""Table I: the DRAM fault model (input table, reproduced verbatim)."""
+
+from repro.harness.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1, quiet=True)
+    table1()
+    assert len(rows) == 14

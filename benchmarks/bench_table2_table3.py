@@ -1,0 +1,15 @@
+"""Tables II and III: design matrix and system configuration."""
+
+from repro.harness.experiments import table2, table3
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2, quiet=True)
+    table2()
+    assert any(r["design"] == "Synergy" for r in rows)
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3, quiet=True)
+    table3()
+    assert rows["cores"] == 4

@@ -1,0 +1,43 @@
+"""Ablation: integrity-tree arity sensitivity.
+
+DESIGN.md calls out the 8-ary Bonsai tree as a design choice; this bench
+sweeps the metadata layout's arity and reports tree depth and storage
+overhead — the trade that motivates 8-ary in SGX and the paper.
+"""
+
+from repro.harness.report import render_table
+from repro.secure.metadata_layout import MetadataLayout
+
+
+def sweep():
+    rows = []
+    for arity in (2, 4, 8, 16):
+        layout = MetadataLayout(1 << 18, arity=arity)
+        overheads = layout.storage_overheads()
+        rows.append(
+            {
+                "arity": arity,
+                "tree_depth": layout.tree_depth,
+                "tree_overhead": overheads["tree"],
+                "counter_overhead": overheads["counters"],
+            }
+        )
+    return rows
+
+
+def test_tree_arity(benchmark):
+    rows = benchmark(sweep)
+    print(
+        render_table(
+            ["arity", "tree depth", "tree overhead", "counter overhead"],
+            [
+                [r["arity"], r["tree_depth"], "%.4f" % r["tree_overhead"], "%.4f" % r["counter_overhead"]]
+                for r in rows
+            ],
+            "Tree arity ablation",
+        )
+    )
+    by_arity = {r["arity"]: r for r in rows}
+    # Higher arity: shallower tree, smaller tree overhead.
+    assert by_arity[8]["tree_depth"] < by_arity[2]["tree_depth"]
+    assert by_arity[8]["tree_overhead"] < by_arity[2]["tree_overhead"]

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every bench regenerates one paper table/figure at the ``quick`` scale (so
+``pytest benchmarks/ --benchmark-only`` terminates in minutes) and prints
+the paper-style rows once. Set ``REPRO_SCALE=default`` or ``full`` for
+higher-fidelity numbers.
+"""
+
+import pytest
+
+from repro.harness.scales import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Benchmark scale: quick unless overridden via REPRO_SCALE."""
+    import os
+
+    return resolve_scale(os.environ.get("REPRO_SCALE", "quick"))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: Synergy's secure memory surviving a DRAM chip failure.
+
+This walks the paper's core mechanism end to end on the functional plane:
+
+1. build a Synergy-protected memory over a simulated 9-chip ECC-DIMM;
+2. write some data (counter-mode encrypted, MAC in the ECC chip, RAID-3
+   parity maintained);
+3. kill an entire DRAM chip;
+4. read everything back — the MAC detects each error and the
+   reconstruction engine corrects it from parity (Fig. 5);
+5. show that a baseline SECDED system dies on the same fault, and that
+   genuine tampering is still caught as an attack.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core.synergy import SynergyMemory
+from repro.dimm.faults import ChipFault, FaultKind
+from repro.secure.errors import AttackDetected, SecureMemoryError
+from repro.secure.memory import BaselineSecureMemory
+
+
+def main() -> None:
+    print("=== Synergy quickstart ===\n")
+
+    # A small protected memory: 64 cachelines of 64 bytes.
+    memory = SynergyMemory(num_data_lines=64)
+
+    print("Writing 16 cachelines through the secure path...")
+    for line in range(16):
+        memory.write(line, f"cacheline #{line:02d} ".encode().ljust(64, b"."))
+
+    print("Killing DRAM chip 3 (whole-chip failure)...")
+    memory.dimm.inject_fault(3, ChipFault(FaultKind.WHOLE_CHIP, seed=2024))
+    memory.tree.cache.clear()  # drop on-chip copies: force real reads
+
+    print("Reading everything back through the corrected path:")
+    for line in range(16):
+        data = memory.read(line)
+        assert data.startswith(b"cacheline #%02d" % line)
+    print("  all 16 lines correct — single-chip failure fully tolerated")
+    print(
+        "  corrections blamed chip(s): %s (tracker identified chip %s)"
+        % (dict(memory.tracker.blame_counts), memory.tracker.known_faulty_chip)
+    )
+
+    print("\nSame fault on the SECDED baseline (SGX-like):")
+    baseline = BaselineSecureMemory(num_data_lines=64)
+    baseline.write(0, b"baseline data".ljust(64, b"."))
+    baseline.dimm.inject_fault(3, ChipFault(FaultKind.WHOLE_CHIP, seed=2024))
+    baseline.tree.cache.clear()
+    try:
+        baseline.read(0)
+        raise AssertionError("baseline should not survive a chip failure")
+    except SecureMemoryError as error:
+        print("  baseline: %s -> %s" % (type(error).__name__, error))
+
+    print("\nTampering is still an attack under Synergy:")
+    memory.dimm.clear_faults()
+    victim = memory.dimm.read_line(0)
+    tampered = [bytearray(lane) for lane in victim]
+    tampered[0][0] ^= 0xFF
+    tampered[4][0] ^= 0xFF  # two chips modified: beyond correction
+    memory.dimm.write_line(0, [bytes(lane) for lane in tampered])
+    memory.tree.cache.clear()
+    try:
+        memory.read(0)
+        raise AssertionError("tampering must be detected")
+    except AttackDetected as error:
+        print("  AttackDetected: %s" % error)
+
+    print("\nDone. See examples/rowhammer_defense.py and")
+    print("examples/performance_comparison.py for more.")
+
+
+if __name__ == "__main__":
+    main()

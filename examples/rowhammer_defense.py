@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Row-hammer resilience demo (paper §IV-B, "Resilience to bit-flip attacks").
+
+Row hammer flips bits in rows physically adjacent to aggressor rows. Under
+Synergy, flips confined to one chip are not just *detected* (as any MAC
+design would) but *corrected* — the attack is neutralised and the access
+returns correct data. Flips spanning multiple chips are detected and
+declared an attack, never silently accepted.
+
+Run: ``python examples/rowhammer_defense.py``
+"""
+
+from repro.core.synergy import SynergyMemory
+from repro.dimm.faults import ChipFault, FaultKind
+from repro.secure.errors import AttackDetected
+
+
+def hammer_single_chip(memory: SynergyMemory, line: int, chip: int) -> None:
+    """Flip a few bits of one chip's lane for ``line`` (localised hammer)."""
+    lane = bytearray(memory.dimm.chips[chip].read_raw(line))
+    lane[0] ^= 0b0000_1001
+    lane[5] ^= 0b0100_0000
+    memory.dimm.write_lane(line, chip, bytes(lane))
+
+
+def hammer_two_chips(memory: SynergyMemory, line: int) -> None:
+    """Flip bits in two different chips (wide-blast-radius hammer)."""
+    for chip in (1, 6):
+        lane = bytearray(memory.dimm.chips[chip].read_raw(line))
+        lane[2] ^= 0b0001_0000
+        memory.dimm.write_lane(line, chip, bytes(lane))
+
+
+def main() -> None:
+    print("=== Row-hammer resilience under Synergy ===\n")
+    memory = SynergyMemory(num_data_lines=64)
+    secret = b"page table entry: kernel rw mapping".ljust(64, b"\x00")
+    memory.write(12, secret)
+
+    print("Attack 1: bit flips localised to chip 2 of the victim line")
+    hammer_single_chip(memory, 12, chip=2)
+    memory.tree.cache.clear()
+    recovered = memory.read(12)
+    assert recovered == secret
+    print("  -> detected by MAC, corrected by parity; data intact")
+    print("  -> corrections blamed: %s" % dict(memory.tracker.blame_counts))
+
+    print("\nAttack 2: bit flips across two chips of the victim line")
+    hammer_two_chips(memory, 12)
+    memory.tree.cache.clear()
+    try:
+        memory.read(12)
+        raise AssertionError("multi-chip flips must not pass")
+    except AttackDetected as error:
+        print("  -> AttackDetected: %s" % error)
+        print("  -> privilege escalation via silent flips is impossible")
+
+    print("\nContrast: a plain SECDED system silently *corrects only single")
+    print("bits* and mis-handles multi-bit hammer patterns; a MAC-only")
+    print("system detects but cannot recover. Synergy does both (§IV-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""A tiny key-value store backed by Synergy-protected memory.
+
+Shows the public API in an application-shaped setting: fixed-size records
+packed into protected cachelines, surviving a DRAM chip failure mid-
+workload, with tampering rejected. This is the "trusted data-center"
+scenario the paper's introduction motivates: the store's contents stay
+confidential (encrypted at rest), tamper-evident (MACs), replay-protected
+(counter tree), and available through chip failures (parity correction).
+
+Run: ``python examples/secure_kv_store.py``
+"""
+
+from typing import Optional
+
+from repro.core.synergy import SynergyMemory
+from repro.dimm.faults import ChipFault, FaultKind
+from repro.secure.errors import AttackDetected
+
+KEY_BYTES = 16
+VALUE_BYTES = 47  # 16 + 47 + 1 used-flag = 64 = one cacheline
+
+
+class SecureKvStore:
+    """Fixed-capacity KV store, one record per protected cacheline."""
+
+    def __init__(self, capacity_lines: int = 64):
+        self._memory = SynergyMemory(num_data_lines=capacity_lines)
+        self._capacity = capacity_lines
+
+    def _slot(self, key: bytes) -> int:
+        import hashlib
+
+        return int.from_bytes(hashlib.sha256(key).digest()[:4], "big") % self._capacity
+
+    @staticmethod
+    def _pack(key: bytes, value: bytes) -> bytes:
+        if len(key) > KEY_BYTES or len(value) > VALUE_BYTES:
+            raise ValueError("key <= 16 bytes, value <= 47 bytes")
+        return (
+            key.ljust(KEY_BYTES, b"\x00")
+            + value.ljust(VALUE_BYTES, b"\x00")
+            + b"\x01"
+        )
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Store/overwrite a record (linear probing on collisions)."""
+        slot = self._slot(key)
+        for probe in range(self._capacity):
+            line = (slot + probe) % self._capacity
+            record = self._memory.read(line)
+            empty = record[-1] == 0
+            same_key = record[:KEY_BYTES].rstrip(b"\x00") == key
+            if empty or same_key:
+                self._memory.write(line, self._pack(key, value))
+                return
+        raise RuntimeError("store full")
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Fetch a record's value, or None."""
+        slot = self._slot(key)
+        for probe in range(self._capacity):
+            line = (slot + probe) % self._capacity
+            record = self._memory.read(line)
+            if record[-1] == 0:
+                return None
+            if record[:KEY_BYTES].rstrip(b"\x00") == key:
+                return record[KEY_BYTES : KEY_BYTES + VALUE_BYTES].rstrip(b"\x00")
+        return None
+
+    # Demo hooks --------------------------------------------------------
+
+    @property
+    def memory(self) -> SynergyMemory:
+        """The backing protected memory (for fault-injection demos)."""
+        return self._memory
+
+
+def main() -> None:
+    print("=== Secure KV store on Synergy memory ===\n")
+    store = SecureKvStore()
+
+    records = {
+        b"alice": b"balance=1204.33",
+        b"bob": b"balance=77.10",
+        b"carol": b"balance=990211.05",
+        b"audit-log-head": b"seq=48213;digest=9f31",
+    }
+    for key, value in records.items():
+        store.put(key, value)
+    print("stored %d records" % len(records))
+
+    print("\nDRAM chip 7 dies mid-operation...")
+    store.memory.dimm.inject_fault(7, ChipFault(FaultKind.WHOLE_CHIP, seed=3))
+    store.memory.tree.cache.clear()
+
+    for key, value in records.items():
+        assert store.get(key) == value
+    print("all records intact (corrected through parity):")
+    for key, value in records.items():
+        print("  %-16s -> %s" % (key.decode(), store.get(key).decode()))
+
+    print("\nupdates still work on the failed DIMM:")
+    store.put(b"alice", b"balance=0.00")
+    assert store.get(b"alice") == b"balance=0.00"
+    print("  alice -> %s" % store.get(b"alice").decode())
+
+    print("\nan attacker rewrites two chips of carol's record:")
+    store.memory.dimm.clear_faults()
+    slot = store._slot(b"carol")
+    lanes = [bytearray(lane) for lane in store.memory.dimm.read_line(slot)]
+    lanes[1][3] ^= 0x42
+    lanes[5][3] ^= 0x42
+    store.memory.dimm.write_line(slot, [bytes(lane) for lane in lanes])
+    store.memory.tree.cache.clear()
+    try:
+        store.get(b"carol")
+        raise AssertionError("tamper must be detected")
+    except AttackDetected as error:
+        print("  rejected: %s" % error)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Synergy (HPCA 2018) reproduction: secure-memory / reliability co-design.
+
+Public API highlights
+---------------------
+
+Functional plane (real bytes, real crypto):
+
+* :class:`repro.secure.memory.SecureMemory` — counter-mode encrypted,
+  MAC-protected, integrity-tree-verified memory over a simulated ECC-DIMM.
+* :class:`repro.core.synergy.SynergyMemory` — the paper's contribution:
+  MAC-in-ECC-chip co-location plus RAID-3 parity correction with the
+  upward-detect / downward-correct tree traversal.
+* :mod:`repro.dimm` — 9-chip x8 ECC-DIMM layout and chip-fault injection.
+
+Timing plane (performance evaluation):
+
+* :class:`repro.sim.system.SystemSimulator` — 4-core trace-driven system
+  with DDR3 memory model and per-design security metadata traffic.
+* :mod:`repro.secure.designs` — NON_SECURE, SGX, SGX_O, SYNERGY, IVEC,
+  LOT-ECC design descriptors (Table II).
+
+Reliability plane:
+
+* :mod:`repro.reliability` — FAULTSIM-style Monte-Carlo over the Sridharan
+  field-study FIT rates (Table I).
+
+Harness:
+
+* :mod:`repro.harness.experiments` — one entry point per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Cache models for the timing plane.
+
+* :mod:`repro.cache.setassoc` — generic set-associative write-back cache
+  with LRU replacement.
+* :mod:`repro.cache.hierarchy` — the shared LLC (8MB/8-way) and the
+  dedicated metadata cache (128KB/8-way) of Table III, with the line-type
+  partitioning hooks the secure designs need (counters competing with data
+  in the LLC is the mechanism behind the pr-web/cc-web anomaly of Fig. 8).
+"""
+
+from repro.cache.setassoc import CacheAccessResult, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+
+__all__ = ["CacheAccessResult", "SetAssociativeCache", "CacheHierarchy"]

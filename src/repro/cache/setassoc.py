@@ -1,0 +1,131 @@
+"""A set-associative write-back cache with true-LRU replacement.
+
+Tag-only model (the timing plane never moves payload bytes): each set is a
+small list of (tag, dirty) pairs ordered most- to least-recently used.
+Python lists beat OrderedDicts at the 8-way associativities used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.util.units import is_power_of_two, log2_int
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    writeback_address: Optional[int] = None  #: dirty victim evicted, if any
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache addressed by cacheline index."""
+
+    def __init__(self, num_lines: int, associativity: int, name: str = "cache"):
+        if num_lines <= 0 or associativity <= 0:
+            raise ValueError("sizes must be positive")
+        if num_lines % associativity:
+            raise ValueError("num_lines must be a multiple of associativity")
+        num_sets = num_lines // associativity
+        if not is_power_of_two(num_sets):
+            raise ValueError("number of sets must be a power of two")
+        self.name = name
+        self.num_lines = num_lines
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self._set_shift = 0
+        self._set_mask = num_sets - 1
+        # sets[i] is MRU-first list of [tag, dirty].
+        self._sets: List[List[List]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _locate(self, line_address: int) -> Tuple[int, int]:
+        set_index = line_address & self._set_mask
+        tag = line_address >> log2_int(self.num_sets) if self.num_sets > 1 else line_address
+        return set_index, tag
+
+    # ------------------------------------------------------------------
+
+    def access(self, line_address: int, is_write: bool = False) -> CacheAccessResult:
+        """Look up and allocate-on-miss; returns hit status and any writeback."""
+        set_index, tag = self._locate(line_address)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                self.hits += 1
+                if position:
+                    ways.insert(0, ways.pop(position))
+                if is_write:
+                    entry[1] = True
+                return CacheAccessResult(hit=True)
+        self.misses += 1
+        writeback = self._insert(set_index, tag, is_write)
+        return CacheAccessResult(hit=False, writeback_address=writeback)
+
+    def probe(self, line_address: int) -> bool:
+        """Presence check without allocation or LRU update."""
+        set_index, tag = self._locate(line_address)
+        return any(entry[0] == tag for entry in self._sets[set_index])
+
+    def fill(self, line_address: int, dirty: bool = False) -> Optional[int]:
+        """Insert a line without counting an access; returns any writeback."""
+        set_index, tag = self._locate(line_address)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                if position:
+                    ways.insert(0, ways.pop(position))
+                if dirty:
+                    entry[1] = True
+                return None
+        return self._insert(set_index, tag, dirty)
+
+    def invalidate(self, line_address: int) -> bool:
+        """Remove a line if present (no writeback even if dirty)."""
+        set_index, tag = self._locate(line_address)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                ways.pop(position)
+                return True
+        return False
+
+    def _insert(self, set_index: int, tag: int, dirty: bool) -> Optional[int]:
+        ways = self._sets[set_index]
+        writeback = None
+        if len(ways) >= self.associativity:
+            victim_tag, victim_dirty = ways.pop()
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+                writeback = self._reconstruct(set_index, victim_tag)
+        ways.insert(0, [tag, dirty])
+        return writeback
+
+    def _reconstruct(self, set_index: int, tag: int) -> int:
+        if self.num_sets == 1:
+            return tag
+        return (tag << log2_int(self.num_sets)) | set_index
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total accesses."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss/eviction counters (contents untouched)."""
+        self.hits = self.misses = self.evictions = self.dirty_evictions = 0

@@ -1,0 +1,123 @@
+"""Physical lane layouts of Synergy's four cacheline types (Fig. 7a).
+
+Data cacheline
+    Chips 0-7 carry the 64-byte ciphertext; the ECC chip carries the 8-byte
+    MAC. The line's 8-byte parity — XOR of all *nine* lanes — lives in a
+    separate parity line.
+
+Parity cacheline
+    Chip ``i`` carries parity ``P_i`` protecting data line ``i`` of the
+    group; the ECC chip carries ParityP = P_0 ^ ... ^ P_7, which lets
+    Synergy survive a chip that holds both a data line and (elsewhere) that
+    line's parity.
+
+Counter / tree-counter cacheline
+    Chip ``i`` carries counter ``i`` (7 bytes) plus MAC byte ``i``; the ECC
+    chip carries ParityC (resp. ParityT) = XOR of the eight data-chip lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dimm.geometry import DATA_CHIPS, ECC_CHIP, TOTAL_CHIPS, join_lanes, split_into_lanes
+from repro.ecc.parity import xor_parity
+from repro.secure.counters import (
+    COUNTERS_PER_LINE,
+    counter_line_lanes,
+    counter_parity,
+    unpack_counter_lanes,
+)
+
+LANE_BYTES = 8
+PARITIES_PER_LINE = 8
+
+
+# -- data lines -------------------------------------------------------------
+
+
+def encode_data_line(ciphertext: bytes, mac: bytes) -> List[bytes]:
+    """Pack ciphertext + MAC into nine lanes (MAC rides the ECC chip)."""
+    return split_into_lanes(ciphertext, mac)
+
+
+def decode_data_line(lanes: Sequence[bytes]) -> Tuple[bytes, bytes]:
+    """Unpack nine lanes into (ciphertext, mac)."""
+    return join_lanes(lanes)
+
+
+def data_line_parity(lanes: Sequence[bytes]) -> bytes:
+    """The 8-byte RAID-3 parity over all nine lanes (8 data + MAC)."""
+    if len(lanes) != TOTAL_CHIPS:
+        raise ValueError("expected %d lanes" % TOTAL_CHIPS)
+    return xor_parity(list(lanes))
+
+
+# -- parity lines -------------------------------------------------------------
+
+
+def encode_parity_line(parities: Sequence[bytes]) -> List[bytes]:
+    """Pack eight 8-byte parities; ParityP goes to the ECC chip."""
+    parities = [bytes(p) for p in parities]
+    if len(parities) != PARITIES_PER_LINE:
+        raise ValueError("expected %d parities" % PARITIES_PER_LINE)
+    if any(len(p) != LANE_BYTES for p in parities):
+        raise ValueError("parities are 8 bytes")
+    return parities + [xor_parity(parities)]
+
+def decode_parity_line(lanes: Sequence[bytes]) -> Tuple[List[bytes], bytes]:
+    """Unpack a parity line into ([P_0..P_7], ParityP)."""
+    if len(lanes) != TOTAL_CHIPS:
+        raise ValueError("expected %d lanes" % TOTAL_CHIPS)
+    return [bytes(lane) for lane in lanes[:PARITIES_PER_LINE]], bytes(lanes[ECC_CHIP])
+
+
+def reconstruct_parity_slot(lanes: Sequence[bytes], slot: int) -> bytes:
+    """Rebuild parity ``P_slot`` from ParityP and the other seven parities.
+
+    Used when the chip holding a data line's parity is itself suspect
+    (Section III-B, the "erroneous parity" case).
+    """
+    parities, parity_p = decode_parity_line(lanes)
+    others = [parities[i] for i in range(PARITIES_PER_LINE) if i != slot]
+    return xor_parity(others + [parity_p])
+
+
+# -- counter / tree lines ------------------------------------------------------
+
+
+def encode_counter_line(counters: Sequence[int], mac: bytes) -> List[bytes]:
+    """Pack counters + MAC; ParityC goes to the ECC chip."""
+    data_lanes = counter_line_lanes(counters, mac)
+    return data_lanes + [counter_parity(data_lanes)]
+
+
+def decode_counter_line(lanes: Sequence[bytes]) -> Tuple[List[int], bytes, bytes]:
+    """Unpack a counter line into (counters, mac, parity_c)."""
+    if len(lanes) != TOTAL_CHIPS:
+        raise ValueError("expected %d lanes" % TOTAL_CHIPS)
+    counters, mac = unpack_counter_lanes(lanes[:DATA_CHIPS])
+    return counters, mac, bytes(lanes[ECC_CHIP])
+
+
+def counter_line_candidates(lanes: Sequence[bytes]) -> List[Tuple[int, List[int], bytes]]:
+    """All single-chip repair hypotheses for a counter line.
+
+    For each data chip ``i`` (0..7), rebuild its lane from ParityC and the
+    other seven, and return ``(chip, counters, mac)`` for that hypothesis.
+    The ECC chip itself carries only parity, so a faulty ECC chip never
+    causes a counter-line MAC mismatch (handled by construction).
+    """
+    if len(lanes) != TOTAL_CHIPS:
+        raise ValueError("expected %d lanes" % TOTAL_CHIPS)
+    parity = bytes(lanes[ECC_CHIP])
+    hypotheses = []
+    for chip in range(DATA_CHIPS):
+        others = [lanes[i] for i in range(DATA_CHIPS) if i != chip]
+        rebuilt = xor_parity(others + [parity])
+        repaired = list(lanes[:DATA_CHIPS])
+        repaired[chip] = rebuilt
+        counters, mac = unpack_counter_lanes(repaired)
+        hypotheses.append((chip, counters, mac))
+    assert len(hypotheses) == COUNTERS_PER_LINE
+    return hypotheses

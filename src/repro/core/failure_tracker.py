@@ -1,0 +1,62 @@
+"""Permanent-chip-failure tracking (Section IV-A latency mitigation).
+
+A permanent chip failure would otherwise cost up to 88 MAC computations per
+access (a full tree walk with reconstruction at every level). The mitigation:
+log the chip blamed by each successful correction; once the same chip has
+been blamed ``threshold`` times consecutively, mark it known-faulty and
+pre-correct its lane with the parity *before* verification — reducing the
+steady-state overhead to the single MAC computation the baseline pays anyway.
+
+A correction blaming a *different* chip resets the streak (the original
+fault may have been transient, or scrubbing fixed it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class FaultyChipTracker:
+    """Consecutive-blame tracker that identifies a permanently failed chip."""
+
+    def __init__(self, threshold: int = 4):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self._streak_chip: Optional[int] = None
+        self._streak_length = 0
+        self._known_faulty: Optional[int] = None
+        self.blame_counts: Dict[int, int] = {}
+
+    @property
+    def known_faulty_chip(self) -> Optional[int]:
+        """The chip to pre-correct, or None while still learning."""
+        return self._known_faulty
+
+    def record_correction(self, chip: int) -> None:
+        """Log one successful correction that blamed ``chip``."""
+        self.blame_counts[chip] = self.blame_counts.get(chip, 0) + 1
+        if chip == self._streak_chip:
+            self._streak_length += 1
+        else:
+            self._streak_chip = chip
+            self._streak_length = 1
+        if self._streak_length >= self.threshold:
+            self._known_faulty = chip
+
+    def record_clean_access(self) -> None:
+        """A verified access with no correction: a permanent fault would not
+        allow this for lines it covers, so temper the streak."""
+        # Clean accesses to *other* lines are expected even with a permanent
+        # fault, so we do not reset the identified chip — only the streak
+        # that was building toward identification.
+        if self._known_faulty is None:
+            self._streak_length = 0
+            self._streak_chip = None
+
+    def clear(self) -> None:
+        """Forget everything (chip replaced / DIMM scrubbed)."""
+        self._streak_chip = None
+        self._streak_length = 0
+        self._known_faulty = None
+        self.blame_counts.clear()

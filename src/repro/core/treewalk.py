@@ -1,0 +1,192 @@
+"""Upward-detect / downward-correct integrity-tree traversal (Fig. 7b/7c).
+
+Upward traversal: on every access the walk verifies MACs from the leaf
+(encryption-counter line) toward the root, *logging* mismatches instead of
+declaring an attack, and stops at the first line found in the on-chip
+metadata cache (trusted by construction).
+
+Downward traversal: runs only over levels that are not already trusted.
+Starting just below the trusted entry, each level is corrected with its
+in-line ParityC/ParityT via the reconstruction engine; because the parent
+was verified (or corrected) first, a mismatch at a level can only implicate
+that level's own cacheline. An unresolvable level means attack.
+
+Reads stop at the first cached level (hardware latency behaviour); writes
+request a *full* walk because bumping increments counters at every level up
+to the root, so every level's current value must be trusted first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cacheline_codec import decode_counter_line
+from repro.core.reconstruction import ReconstructionEngine
+from repro.secure.counter_tree import CounterTree
+from repro.secure.errors import AttackDetected
+from repro.secure.mac import LineMacCalculator
+from repro.secure.metadata_layout import MetadataLayout
+
+
+@dataclass
+class WalkReport:
+    """What a verified walk did (latency/accounting evidence for tests)."""
+
+    levels_visited: int = 0
+    mismatched_levels: List[int] = field(default_factory=list)
+    corrected_chips: Dict[int, int] = field(default_factory=dict)  # addr -> chip
+    mac_computations: int = 0
+    anchor_index: int = -1  # chain index of the cache hit (len(chain) = root)
+
+
+class CounterLineSource:
+    """Raw access to counter-type lines for the walk (lanes included).
+
+    The walk needs the physical lanes (for parity reconstruction), unlike
+    the baseline which only ever sees decoded payloads.
+    """
+
+    def __init__(self, synergy_store):
+        self._store = synergy_store
+
+    def load_lanes(self, address: int) -> Optional[List[bytes]]:
+        """Nine raw lanes of a counter-type line, or None if never written."""
+        return self._store.load_counter_lanes(address)
+
+    def store_lanes_from_values(
+        self, address: int, counters: List[int], mac: bytes
+    ) -> None:
+        """Re-encode and store a corrected line (scrub write-back)."""
+        self._store.store_counter_line(address, counters, mac)
+
+
+class SynergyTreeWalk:
+    """The integrated verification + correction walk."""
+
+    def __init__(
+        self,
+        layout: MetadataLayout,
+        tree: CounterTree,
+        mac_calc: LineMacCalculator,
+        engine: ReconstructionEngine,
+        source: CounterLineSource,
+    ):
+        self.layout = layout
+        self.tree = tree
+        self.mac_calc = mac_calc
+        self.engine = engine
+        self.source = source
+
+    # ------------------------------------------------------------------
+
+    def verified_chain(
+        self, data_line: int, full: bool = False
+    ) -> Tuple[Dict[int, List[int]], WalkReport]:
+        """Verify (and if needed correct) the chain for ``data_line``.
+
+        Returns trusted counters per chain line plus a report. With
+        ``full=False`` (reads) the walk stops at the first cached level and
+        only lines at or below it appear in the result; with ``full=True``
+        (writes) every chain line is verified and returned. Raises
+        :class:`AttackDetected` when a level cannot be corrected.
+        """
+        chain = self.layout.verification_chain(data_line)
+        report = WalkReport()
+
+        # ---- upward traversal ----
+        trusted: Dict[int, List[int]] = {}
+        observed: Dict[int, Tuple[List[int], Optional[bytes], Optional[List[bytes]]]] = {}
+        anchor_index = len(chain)  # default anchor: the on-chip root
+        for index, (address, _) in enumerate(chain):
+            cached = self.tree.cache.lookup(address)
+            if cached is not None:
+                trusted[address] = cached
+                if index < anchor_index:
+                    anchor_index = index
+                if not full:
+                    break
+                continue
+            lanes = self.source.load_lanes(address)
+            if lanes is None:
+                observed[address] = (self.tree.fresh_line(), None, None)
+            else:
+                counters, mac, _parity = decode_counter_line(lanes)
+                observed[address] = (counters, mac, lanes)
+            report.levels_visited += 1
+        report.anchor_index = anchor_index
+
+        # Tentative upward MAC checks (hardware does these in flight); they
+        # only *log* — correctness is established downward.
+        for index in range(len(chain) - 1, -1, -1):
+            address, _ = chain[index]
+            if address not in observed:
+                continue
+            counters, mac, _lanes = observed[address]
+            if mac is None:
+                continue  # fresh line, nothing stored to verify yet
+            parent_value = self._tentative_parent(chain, index, observed, trusted)
+            report.mac_computations += 1
+            expected = self.mac_calc.counter_line_mac(address, parent_value, counters)
+            if expected != mac:
+                report.mismatched_levels.append(index)
+
+        # ---- downward traversal: establish trust level by level ----
+        for index in range(len(chain) - 1, -1, -1):
+            address, _ = chain[index]
+            if address in trusted:
+                continue
+            if address not in observed:
+                continue  # above a non-full walk's anchor: not needed
+            counters, mac, lanes = observed[address]
+            parent_value = self.tree.parent_value(chain, index, trusted)
+            if mac is None:
+                # Never-written line: only consistent if its parent slot is 0.
+                if parent_value != 0:
+                    raise AttackDetected(
+                        "missing counter line under non-zero parent", address
+                    )
+                trusted[address] = counters
+                self.tree.cache.insert(address, counters)
+                continue
+            report.mac_computations += 1
+            expected = self.mac_calc.counter_line_mac(address, parent_value, counters)
+            if expected == mac:
+                trusted[address] = counters
+                self.tree.cache.insert(address, counters)
+                continue
+            # Mismatch here can only be this line's error: correct it.
+            outcome = self.engine.correct_counter_line(address, lanes, parent_value)
+            if outcome is None:
+                raise AttackDetected(
+                    "uncorrectable counter-line error or attack", address
+                )
+            report.mac_computations += outcome.attempts
+            report.corrected_chips[address] = outcome.faulty_chip
+            fixed_counters, fixed_mac, _ = decode_counter_line(outcome.lanes)
+            # Scrub: write the repaired line back.
+            self.source.store_lanes_from_values(address, fixed_counters, fixed_mac)
+            trusted[address] = fixed_counters
+            self.tree.cache.insert(address, fixed_counters)
+
+        return trusted, report
+
+    # ------------------------------------------------------------------
+
+    def _tentative_parent(
+        self,
+        chain: List[Tuple[int, int]],
+        index: int,
+        observed: Dict[int, Tuple[List[int], Optional[bytes], Optional[List[bytes]]]],
+        trusted: Dict[int, List[int]],
+    ) -> int:
+        """Parent value as seen during the (untrusted) upward pass."""
+        if index == len(chain) - 1:
+            return self.tree.root
+        parent_address, parent_slot = chain[index + 1]
+        if parent_address in trusted:
+            return trusted[parent_address][parent_slot]
+        if parent_address in observed:
+            counters, _mac, _lanes = observed[parent_address]
+            return counters[parent_slot]
+        return self.tree.root

@@ -1,0 +1,13 @@
+"""Trace-driven processor models (USIMM-style cores).
+
+* :mod:`repro.cpu.trace` — trace records: instruction gaps + memory ops.
+* :mod:`repro.cpu.rob` — a 192-entry-ROB core model with fetch/retire
+  width 4 (Table III); reads block retirement, writes are posted.
+* :mod:`repro.cpu.multicore` — four cores in rate mode driving a shared
+  memory system through blocking-point epochs.
+"""
+
+from repro.cpu.rob import CoreModel, CoreParams
+from repro.cpu.trace import MemoryOp, TraceRecord
+
+__all__ = ["CoreModel", "CoreParams", "MemoryOp", "TraceRecord"]

@@ -1,0 +1,59 @@
+"""Multicore driver: cores + memory system, blocking-point co-simulation.
+
+The loop alternates two phases until all traces retire:
+
+1. every core runs until blocked on an unresolved read (or done);
+2. the memory system schedules everything enqueued so far and resolves the
+   outstanding handles.
+
+Because a core only blocks on its *own* oldest incomplete read, every
+request that could contend with a blocked read has been enqueued by the time
+phase 2 runs — scheduling is causally complete per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.cpu.rob import CoreModel
+
+
+class MulticoreDriver:
+    """Runs a set of cores against a memory system."""
+
+    def __init__(
+        self,
+        cores: List[CoreModel],
+        resolve_fn: Callable[[], None],
+    ):
+        """``resolve_fn`` must schedule pending memory work and fill in
+        every outstanding handle's completion."""
+        self.cores = cores
+        self._resolve_fn = resolve_fn
+        self.epochs = 0
+
+    def run(self, max_epochs: int = 10_000_000) -> None:
+        """Drive all cores to completion."""
+        while True:
+            all_done = True
+            for core in self.cores:
+                if not core.done:
+                    core.advance()
+                    if not core.done:
+                        all_done = False
+            if all_done:
+                return
+            self._resolve_fn()
+            self.epochs += 1
+            if self.epochs > max_epochs:
+                raise RuntimeError("multicore driver did not converge")
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired across cores."""
+        return sum(core.retired_count for core in self.cores)
+
+    @property
+    def finish_time_cpu(self) -> float:
+        """CPU cycle when the slowest core retired its last instruction."""
+        return max(core.retire_time for core in self.cores)

@@ -1,0 +1,162 @@
+"""Trace-driven ROB core model (USIMM-style, Table III parameters).
+
+The model captures exactly what matters for memory-system studies:
+
+* the frontend fetches ``width`` instructions per CPU cycle;
+* a reorder buffer of ``rob_size`` entries lets the core run ahead of
+  outstanding reads — memory latency is invisible until the ROB fills;
+* retirement is in-order at ``width`` per cycle; an incomplete read at the
+  ROB head blocks it;
+* writes are posted (retire immediately; the memory system absorbs them).
+
+The core cooperates with the rest of the system through a blocking-point
+protocol: :meth:`CoreModel.advance` runs until it needs the completion time
+of a read the memory system has not resolved yet, then returns that handle.
+The driver resolves completions (by running the memory controller) and calls
+``advance`` again. Times are CPU cycles, carried as floats (width-4 retire
+steps are quarter cycles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, Optional, Tuple
+
+from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core microarchitecture parameters (Table III)."""
+
+    rob_size: int = 192
+    width: int = 4  #: fetch and retire width, instructions per CPU cycle
+
+
+class AccessHandle:
+    """Future completion time (CPU cycles) of one read access.
+
+    The memory side sets :attr:`completion_cpu` once the underlying DRAM
+    requests are scheduled; ``None`` means still unresolved.
+    """
+
+    __slots__ = ("completion_cpu",)
+
+    def __init__(self, completion_cpu: Optional[float] = None):
+        self.completion_cpu = completion_cpu
+
+
+#: Memory-system interface the core drives: read(line, cpu_time, core) ->
+#: AccessHandle; write(line, cpu_time, core) -> None.
+ReadFn = Callable[[int, float, int], AccessHandle]
+WriteFn = Callable[[int, float, int], None]
+
+
+class CoreModel:
+    """One trace-driven core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        read_fn: ReadFn,
+        write_fn: WriteFn,
+        params: CoreParams = CoreParams(),
+    ):
+        self.core_id = core_id
+        self.params = params
+        self._read_fn = read_fn
+        self._write_fn = write_fn
+        self._records: Iterator[TraceRecord] = iter(trace)
+        self._pending_record: Optional[TraceRecord] = None
+
+        self.fetch_time = 0.0
+        self.retire_time = 0.0
+        self.fetched_count = 0  #: instructions fetched so far
+        self.retired_count = 0  #: instructions retired so far
+        self.done = False
+
+        #: in-flight reads: (instruction position, handle), FIFO order.
+        self._pending_reads: Deque[Tuple[int, AccessHandle]] = deque()
+        self.stall_cycles = 0.0
+
+    # ------------------------------------------------------------------
+
+    def advance(self) -> Optional[AccessHandle]:
+        """Run until blocked on an unresolved read or the trace ends.
+
+        Returns the blocking handle, or None when the core has fully
+        retired its trace.
+        """
+        width = self.params.width
+        rob = self.params.rob_size
+        while True:
+            record = self._pending_record
+            if record is None:
+                record = next(self._records, None)
+                if record is None:
+                    # Trace exhausted: retire everything still in flight.
+                    blocked = self._retire_until(self.fetched_count)
+                    if blocked is not None:
+                        self._pending_record = None
+                        return blocked
+                    self.done = True
+                    return None
+            self._pending_record = record
+
+            mem_position = self.fetched_count + record.gap  # the memory op
+            needed_retired = mem_position + 1 - rob
+            if needed_retired > self.retired_count:
+                blocked = self._retire_until(needed_retired)
+                if blocked is not None:
+                    return blocked
+                # ROB was full: fetch resumes no earlier than the freeing
+                # retirement.
+                if self.retire_time > self.fetch_time:
+                    self.stall_cycles += self.retire_time - self.fetch_time
+                    self.fetch_time = self.retire_time
+
+            self.fetch_time += record.instructions / width
+            self.fetched_count = mem_position + 1
+            if record.op is MemoryOp.READ:
+                handle = self._read_fn(record.line_address, self.fetch_time, self.core_id)
+                self._pending_reads.append((mem_position, handle))
+            else:
+                self._write_fn(record.line_address, self.fetch_time, self.core_id)
+            self._pending_record = None
+
+    # ------------------------------------------------------------------
+
+    def _retire_until(self, count: int) -> Optional[AccessHandle]:
+        """Retire instructions [retired_count, count); None on success.
+
+        Returns the handle of the first unresolved read encountered, leaving
+        state consistent for resumption.
+        """
+        width = self.params.width
+        while self.retired_count < count:
+            if self._pending_reads and self._pending_reads[0][0] < count:
+                position, handle = self._pending_reads[0]
+                if handle.completion_cpu is None:
+                    return handle
+                gap = position - self.retired_count
+                self.retire_time += gap / width
+                self.retire_time = max(self.retire_time, handle.completion_cpu)
+                self.retire_time += 1.0 / width
+                self.retired_count = position + 1
+                self._pending_reads.popleft()
+            else:
+                gap = count - self.retired_count
+                self.retire_time += gap / width
+                self.retired_count = count
+        return None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per CPU cycle so far."""
+        if self.retire_time <= 0:
+            return 0.0
+        return self.retired_count / self.retire_time

@@ -1,0 +1,80 @@
+"""Trace format for the trace-driven cores.
+
+A trace is a sequence of :class:`TraceRecord`: "execute ``gap`` non-memory
+instructions, then perform one memory operation at ``line_address``".
+Addresses are cacheline-granular (the caches and DRAM all speak lines).
+This is the same shape as USIMM input traces; here they come from the
+synthetic workload generator rather than Pin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+class MemoryOp(enum.Enum):
+    """Type of the memory operation ending a trace record."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """``gap`` non-memory instructions followed by one memory op."""
+
+    gap: int
+    op: MemoryOp
+    line_address: int
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.line_address < 0:
+            raise ValueError("line_address must be non-negative")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this record accounts for (gap + the memory op)."""
+        return self.gap + 1
+
+
+class Trace:
+    """An in-memory trace with summary statistics."""
+
+    def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
+        self.records: List[TraceRecord] = list(records)
+        self.name = name
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions represented by the trace."""
+        return sum(record.instructions for record in self.records)
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        """Memory accesses per 1000 instructions (the paper's APKI)."""
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * len(self.records) / instructions
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of memory ops that are writes."""
+        if not self.records:
+            return 0.0
+        writes = sum(1 for r in self.records if r.op is MemoryOp.WRITE)
+        return writes / len(self.records)
+
+    def footprint_lines(self) -> int:
+        """Distinct cachelines touched."""
+        return len({record.line_address for record in self.records})

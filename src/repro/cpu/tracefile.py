@@ -1,0 +1,85 @@
+"""Trace file I/O in a USIMM-compatible text format.
+
+Each line is ``<gap> <R|W> <hex line address>`` — the shape USIMM traces
+take after PIN post-processing. This lets externally captured traces drive
+the simulator (replacing the synthetic generator), and synthetic traces be
+exported for other tools. ``.gz`` paths are compressed transparently.
+
+Example::
+
+    from repro.cpu.tracefile import save_trace, load_trace
+    save_trace(trace, "mcf.c0.trace.gz")
+    trace = load_trace("mcf.c0.trace.gz")
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))
+    return open(path, mode)
+
+
+def format_record(record: TraceRecord) -> str:
+    """One trace line: ``<gap> <R|W> <hex line address>``."""
+    return "%d %s 0x%x" % (record.gap, record.op.value, record.line_address)
+
+
+def parse_record(line: str) -> TraceRecord:
+    """Inverse of :func:`format_record`; raises ValueError on bad input."""
+    parts = line.split()
+    if len(parts) != 3:
+        raise ValueError("expected '<gap> <R|W> <address>', got %r" % line)
+    gap_text, op_text, address_text = parts
+    try:
+        gap = int(gap_text)
+        address = int(address_text, 0)
+    except ValueError as exc:
+        raise ValueError("bad numeric field in %r" % line) from exc
+    try:
+        op = MemoryOp(op_text)
+    except ValueError as exc:
+        raise ValueError("bad op %r (want R or W)" % op_text) from exc
+    return TraceRecord(gap, op, address)
+
+
+def save_trace(trace: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write a trace; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in trace:
+            handle.write(format_record(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a trace file (constant memory)."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield parse_record(line)
+            except ValueError as exc:
+                raise ValueError("%s:%d: %s" % (path, line_number, exc)) from None
+
+
+def load_trace(path: PathLike, name: str = "") -> Trace:
+    """Load a whole trace file into memory."""
+    path = Path(path)
+    return Trace(iter_trace(path), name=name or path.stem)

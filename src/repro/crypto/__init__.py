@@ -1,0 +1,22 @@
+"""Cryptographic substrate for the functional secure-memory plane.
+
+Everything is implemented from scratch in pure Python:
+
+* :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS-197).
+* :mod:`repro.crypto.gf128` — carry-less GF(2^128) multiplication (GHASH field).
+* :mod:`repro.crypto.ghash` — the GHASH universal hash of AES-GCM.
+* :mod:`repro.crypto.gmac` — 64-bit truncated GMAC as used by the paper.
+* :mod:`repro.crypto.ctr` — counter-mode (OTP) encryption of cachelines.
+* :mod:`repro.crypto.keys` — processor key material.
+
+The performance simulators never call into this package (hardware crypto is
+off the critical path in the paper's designs too); it exists to make the
+error-detection/correction flows of Figs. 5 and 7 real and testable.
+"""
+
+from repro.crypto.aes import Aes128
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.gmac import Gmac64
+from repro.crypto.keys import ProcessorKeys
+
+__all__ = ["Aes128", "CounterModeCipher", "Gmac64", "ProcessorKeys"]

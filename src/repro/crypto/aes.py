@@ -1,0 +1,209 @@
+"""AES-128 block cipher, implemented from the FIPS-197 specification.
+
+Only encryption is required by the secure-memory designs (counter mode uses
+the forward cipher for both directions, and GMAC only ever encrypts), but the
+inverse cipher is provided for completeness and round-trip testing.
+
+The implementation favours clarity over raw speed: tables are derived at
+import time from first principles (GF(2^8) arithmetic) rather than pasted as
+magic constants, which both documents the math and keeps the file honest.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_BLOCK_BYTES = 16
+_ROUNDS = 10
+_KEY_BYTES = 16
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(left: int, right: int) -> int:
+    """Multiply two GF(2^8) elements (AES polynomial)."""
+    product = 0
+    while right:
+        if right & 1:
+            product ^= left
+        left = _xtime(left)
+        right >>= 1
+    return product
+
+
+def _build_sbox() -> List[int]:
+    """Derive the AES S-box: multiplicative inverse then affine transform."""
+    # Build inverses via exponentiation tables on the generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value = _gf_mul(value, 3)
+    exp[255] = exp[0]
+
+    def inverse(element: int) -> int:
+        if element == 0:
+            return 0
+        return exp[255 - log[element]]
+
+    sbox = [0] * 256
+    for element in range(256):
+        inv = inverse(element)
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        sbox[element] = transformed
+    return sbox
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = [0] * 256
+for _index, _substituted in enumerate(_SBOX):
+    _INV_SBOX[_substituted] = _index
+
+_RCON = [0x01]
+while len(_RCON) < 10:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+def _expand_key(key: bytes) -> List[List[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != _KEY_BYTES:
+        raise ValueError("AES-128 requires a 16-byte key")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for index in range(4, 4 * (_ROUNDS + 1)):
+        temp = list(words[index - 1])
+        if index % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[index // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[index - 4], temp)])
+    round_keys = []
+    for round_index in range(_ROUNDS + 1):
+        chunk = words[4 * round_index : 4 * round_index + 4]
+        round_keys.append([byte for word in chunk for byte in word])
+    return round_keys
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for index in range(16):
+        state[index] = _SBOX[state[index]]
+
+
+def _inv_sub_bytes(state: List[int]) -> None:
+    for index in range(16):
+        state[index] = _INV_SBOX[state[index]]
+
+
+# State layout: state[4*col + row] per FIPS-197 column-major convention when
+# loaded directly from bytes (byte i -> row i%4, column i//4).
+_SHIFT_MAP = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+_INV_SHIFT_MAP = [0] * 16
+for _dst, _src in enumerate(_SHIFT_MAP):
+    _INV_SHIFT_MAP[_src] = _dst
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    return [state[_SHIFT_MAP[i]] for i in range(16)]
+
+
+def _inv_shift_rows(state: List[int]) -> List[int]:
+    return [state[_INV_SHIFT_MAP[i]] for i in range(16)]
+
+
+def _mix_single_column(column: List[int]) -> List[int]:
+    c0, c1, c2, c3 = column
+    return [
+        _gf_mul(c0, 2) ^ _gf_mul(c1, 3) ^ c2 ^ c3,
+        c0 ^ _gf_mul(c1, 2) ^ _gf_mul(c2, 3) ^ c3,
+        c0 ^ c1 ^ _gf_mul(c2, 2) ^ _gf_mul(c3, 3),
+        _gf_mul(c0, 3) ^ c1 ^ c2 ^ _gf_mul(c3, 2),
+    ]
+
+
+def _inv_mix_single_column(column: List[int]) -> List[int]:
+    c0, c1, c2, c3 = column
+    return [
+        _gf_mul(c0, 14) ^ _gf_mul(c1, 11) ^ _gf_mul(c2, 13) ^ _gf_mul(c3, 9),
+        _gf_mul(c0, 9) ^ _gf_mul(c1, 14) ^ _gf_mul(c2, 11) ^ _gf_mul(c3, 13),
+        _gf_mul(c0, 13) ^ _gf_mul(c1, 9) ^ _gf_mul(c2, 14) ^ _gf_mul(c3, 11),
+        _gf_mul(c0, 11) ^ _gf_mul(c1, 13) ^ _gf_mul(c2, 9) ^ _gf_mul(c3, 14),
+    ]
+
+
+def _mix_columns(state: List[int], inverse: bool = False) -> List[int]:
+    mixer = _inv_mix_single_column if inverse else _mix_single_column
+    output = []
+    for column in range(4):
+        output.extend(mixer(state[4 * column : 4 * column + 4]))
+    return output
+
+
+class Aes128:
+    """AES-128 with a fixed key, exposing single-block encrypt/decrypt.
+
+    The block cipher is the workhorse behind both counter-mode encryption
+    (one-time-pad generation) and GMAC (hash-key and tag-mask derivation).
+    """
+
+    block_bytes = _BLOCK_BYTES
+
+    def __init__(self, key: bytes):
+        self._round_keys = _expand_key(bytes(key))
+        self._cache: dict = {}
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != _BLOCK_BYTES:
+            raise ValueError("AES block must be 16 bytes")
+        cached = self._cache.get(plaintext)
+        if cached is not None:
+            return cached
+        state = list(plaintext)
+        keys = self._round_keys
+        state = [s ^ k for s, k in zip(state, keys[0])]
+        for round_index in range(1, _ROUNDS):
+            _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = [s ^ k for s, k in zip(state, keys[round_index])]
+        _sub_bytes(state)
+        state = _shift_rows(state)
+        state = [s ^ k for s, k in zip(state, keys[_ROUNDS])]
+        result = bytes(state)
+        if len(self._cache) < 65536:
+            self._cache[bytes(plaintext)] = result
+        return result
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block (inverse cipher)."""
+        if len(ciphertext) != _BLOCK_BYTES:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(ciphertext)
+        keys = self._round_keys
+        state = [s ^ k for s, k in zip(state, keys[_ROUNDS])]
+        state = _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        for round_index in range(_ROUNDS - 1, 0, -1):
+            state = [s ^ k for s, k in zip(state, keys[round_index])]
+            state = _mix_columns(state, inverse=True)
+            state = _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+        state = [s ^ k for s, k in zip(state, keys[0])]
+        return bytes(state)

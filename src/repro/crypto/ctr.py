@@ -1,0 +1,45 @@
+"""Counter-mode (one-time-pad) encryption of 64-byte cachelines.
+
+Per Section II-A2 of the paper: the OTP for a line is AES_K over a seed built
+from the line address and the per-line write counter; encryption and
+decryption are the same XOR. Using the address in the seed makes pads unique
+across lines; using the counter makes them unique across writes to the same
+line (temporal variation).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import Aes128
+from repro.util.bitops import bytes_xor
+from repro.util.units import CACHELINE_BYTES
+
+_PAD_BLOCKS = CACHELINE_BYTES // 16
+
+
+class CounterModeCipher:
+    """Counter-mode cipher for 64-byte lines keyed by the processor key."""
+
+    def __init__(self, key: bytes):
+        self._cipher = Aes128(key)
+
+    def one_time_pad(self, address: int, counter: int) -> bytes:
+        """Generate the 64-byte OTP for (address, counter)."""
+        pad = bytearray()
+        for block_index in range(_PAD_BLOCKS):
+            seed = (
+                address.to_bytes(8, "big")
+                + counter.to_bytes(7, "big")
+                + bytes([block_index])
+            )
+            pad.extend(self._cipher.encrypt_block(seed))
+        return bytes(pad)
+
+    def encrypt(self, address: int, counter: int, plaintext: bytes) -> bytes:
+        """Encrypt a 64-byte line."""
+        if len(plaintext) != CACHELINE_BYTES:
+            raise ValueError("cachelines are %d bytes" % CACHELINE_BYTES)
+        return bytes_xor(plaintext, self.one_time_pad(address, counter))
+
+    def decrypt(self, address: int, counter: int, ciphertext: bytes) -> bytes:
+        """Decrypt a 64-byte line (same XOR as encryption)."""
+        return self.encrypt(address, counter, ciphertext)

@@ -1,0 +1,61 @@
+"""GF(2^128) arithmetic for GHASH (the universal hash inside AES-GCM).
+
+GHASH uses the field GF(2^128) with the reduction polynomial
+x^128 + x^7 + x^2 + x + 1, and — a notorious quirk of the GCM spec — a
+*bit-reflected* representation: the most significant bit of the first byte is
+the coefficient of x^0. We follow NIST SP 800-38D exactly so the GMAC built
+on top matches hardware behaviour.
+"""
+
+from __future__ import annotations
+
+_R = 0xE1000000000000000000000000000000  # reduction constant, reflected form
+
+
+def block_to_int(block: bytes) -> int:
+    """Interpret a 16-byte block as a GHASH field element."""
+    if len(block) != 16:
+        raise ValueError("GF(2^128) elements are 16 bytes")
+    return int.from_bytes(block, "big")
+
+
+def int_to_block(value: int) -> bytes:
+    """Encode a field element back to its 16-byte representation."""
+    return value.to_bytes(16, "big")
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply two GHASH field elements (bit-reflected convention).
+
+    Direct transcription of the shift-and-reduce algorithm from
+    SP 800-38D §6.3: iterate over the bits of ``x`` from the MSB down,
+    conditionally accumulating ``v`` (which tracks y * x^i) and reducing.
+    """
+    z = 0
+    v = y
+    for bit_index in range(127, -1, -1):
+        if (x >> bit_index) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def gf128_pow(base: int, exponent: int) -> int:
+    """Exponentiation by squaring in the GHASH field."""
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    result = 1 << 127  # the multiplicative identity in reflected form
+    accumulator = base
+    while exponent:
+        if exponent & 1:
+            result = gf128_mul(result, accumulator)
+        accumulator = gf128_mul(accumulator, accumulator)
+        exponent >>= 1
+    return result
+
+
+#: Multiplicative identity of the reflected GHASH field ("1" = x^0).
+GF128_ONE = 1 << 127

@@ -1,0 +1,34 @@
+"""GHASH: the polynomial universal hash used by AES-GCM / GMAC.
+
+GHASH_H(X) processes 16-byte blocks X_1..X_n as
+``Y_i = (Y_{i-1} XOR X_i) * H`` in GF(2^128), returning Y_n. Combined with an
+AES-encrypted nonce mask this yields GMAC, a Carter-Wegman style MAC — the
+construction the paper assumes for its 64-bit data MACs.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.gf128 import block_to_int, gf128_mul, int_to_block
+
+
+class GHash:
+    """GHASH keyed by the 16-byte hash subkey ``H`` (AES_K(0^128))."""
+
+    def __init__(self, hash_key: bytes):
+        if len(hash_key) != 16:
+            raise ValueError("GHASH subkey must be 16 bytes")
+        self._h = block_to_int(hash_key)
+
+    def digest(self, data: bytes) -> bytes:
+        """Hash ``data`` (length-prefixed per GCM: appends a length block)."""
+        y = 0
+        h = self._h
+        padded = data + b"\x00" * ((16 - len(data) % 16) % 16)
+        for offset in range(0, len(padded), 16):
+            block = block_to_int(padded[offset : offset + 16])
+            y = gf128_mul(y ^ block, h)
+        # GCM length block: 64-bit AAD bit length || 64-bit data bit length.
+        # We treat the whole input as "AAD" (GMAC usage: no ciphertext).
+        length_block = (len(data) * 8).to_bytes(8, "big") + (0).to_bytes(8, "big")
+        y = gf128_mul(y ^ block_to_int(length_block), h)
+        return int_to_block(y)

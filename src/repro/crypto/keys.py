@@ -1,0 +1,35 @@
+"""Processor key material for the secure-memory engine.
+
+The trusted computing base is the processor (Section II-A1); it holds two
+secret keys: one for counter-mode encryption and one for MAC generation.
+Keys never leave the package — consumers receive cipher/MAC objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.gmac import Gmac64
+
+
+class ProcessorKeys:
+    """Derives independent encryption and MAC keys from one master secret."""
+
+    def __init__(self, master_secret: bytes = b"synergy-reproduction-master"):
+        if not master_secret:
+            raise ValueError("master secret must be non-empty")
+        self._encryption_key = self._derive(master_secret, b"encrypt")
+        self._mac_key = self._derive(master_secret, b"mac")
+
+    @staticmethod
+    def _derive(master: bytes, label: bytes) -> bytes:
+        return hashlib.sha256(label + b"\x00" + master).digest()[:16]
+
+    def make_cipher(self) -> CounterModeCipher:
+        """Counter-mode cipher keyed with the encryption key."""
+        return CounterModeCipher(self._encryption_key)
+
+    def make_mac(self) -> Gmac64:
+        """64-bit GMAC keyed with the MAC key."""
+        return Gmac64(self._mac_key)

@@ -1,0 +1,53 @@
+"""A single simulated x8 DRAM chip: lane storage plus fault application."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dimm.faults import ChipFault
+from repro.dimm.geometry import LANE_BYTES
+
+
+class SimulatedChip:
+    """Sparse byte storage for one chip's 8-byte lane per line.
+
+    Reads pass through any active faults (permanent-fault semantics: the
+    stored value stays clean, the *returned* value is corrupted, so clearing
+    the fault restores correct reads — matching a transient upset being
+    overwritten or a faulty device being replaced).
+    """
+
+    def __init__(self, chip_index: int):
+        self.chip_index = chip_index
+        self._lanes: Dict[int, bytes] = {}
+        self._faults: List[ChipFault] = []
+
+    def write(self, line_address: int, lane: bytes) -> None:
+        """Store the 8-byte lane for ``line_address``."""
+        if len(lane) != LANE_BYTES:
+            raise ValueError("lane must be %d bytes" % LANE_BYTES)
+        self._lanes[line_address] = bytes(lane)
+
+    def read(self, line_address: int) -> bytes:
+        """Read the lane, applying active faults."""
+        lane = self._lanes.get(line_address, bytes(LANE_BYTES))
+        for fault in self._faults:
+            lane = fault.corrupt(line_address, lane)
+        return lane
+
+    def read_raw(self, line_address: int) -> bytes:
+        """Read the stored (fault-free) lane; test/diagnostic use only."""
+        return self._lanes.get(line_address, bytes(LANE_BYTES))
+
+    def inject_fault(self, fault: ChipFault) -> None:
+        """Activate a fault on this chip."""
+        self._faults.append(fault)
+
+    def clear_faults(self) -> None:
+        """Deactivate all faults (device repair / transient scrubbed)."""
+        self._faults.clear()
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any fault is active."""
+        return bool(self._faults)

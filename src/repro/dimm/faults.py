@@ -1,0 +1,93 @@
+"""Chip-fault descriptors for the functional DIMM.
+
+Faults follow the granularities of the Sridharan & Liberty field study
+(Table I of the paper): single bit, word, column, row, bank, and whole-chip.
+A fault corrupts the bytes a chip returns for the addresses it covers;
+*permanent* faults corrupt every read, *transient* faults are modelled as a
+corruption already resident in the stored value (injected once).
+
+The functional plane uses these to drive the exact detection/correction flows
+of Figs. 5 and 7; the reliability simulator has its own, purely statistical
+fault representation in :mod:`repro.reliability.faults`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dimm.geometry import LANE_BYTES
+from repro.util.rng import DeterministicRng
+
+
+class FaultKind(enum.Enum):
+    """Granularity of a chip fault (Table I failure modes)."""
+
+    SINGLE_BIT = "single_bit"
+    SINGLE_WORD = "single_word"
+    SINGLE_COLUMN = "single_column"
+    SINGLE_ROW = "single_row"
+    SINGLE_BANK = "single_bank"
+    WHOLE_CHIP = "whole_chip"
+
+
+@dataclass
+class ChipFault:
+    """An active fault on one chip of the functional DIMM.
+
+    ``line_address`` anchors the fault; which addresses are affected depends
+    on ``kind`` together with the row/bank geometry supplied by the chip.
+    Corruption is deterministic given ``seed`` so tests are reproducible.
+    """
+
+    kind: FaultKind
+    line_address: int = 0
+    bit_index: int = 0  # for SINGLE_BIT / SINGLE_COLUMN: which bit of the lane
+    seed: int = 0
+    rows_per_bank: int = 64
+    _rng: Optional[DeterministicRng] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit_index < 8 * LANE_BYTES:
+            raise ValueError("bit_index must address one of the 64 lane bits")
+        self._rng = DeterministicRng(self.seed)
+
+    # -- address coverage --------------------------------------------------
+
+    def affects(self, line_address: int) -> bool:
+        """Does this fault corrupt reads of ``line_address``?"""
+        if self.kind in (FaultKind.SINGLE_BIT, FaultKind.SINGLE_WORD):
+            return line_address == self.line_address
+        if self.kind == FaultKind.SINGLE_COLUMN:
+            # Same column = same offset within the row, across all rows of
+            # one bank. With rows_per_bank lines per row-group, lines that
+            # share (address mod rows) share a column position.
+            return (line_address % self.rows_per_bank) == (
+                self.line_address % self.rows_per_bank
+            )
+        if self.kind == FaultKind.SINGLE_ROW:
+            row = self.line_address // self.rows_per_bank
+            return line_address // self.rows_per_bank == row
+        if self.kind in (FaultKind.SINGLE_BANK, FaultKind.WHOLE_CHIP):
+            return True
+        raise AssertionError("unreachable fault kind")
+
+    # -- corruption --------------------------------------------------------
+
+    def corrupt(self, line_address: int, lane: bytes) -> bytes:
+        """Return the corrupted lane the chip produces for this address."""
+        if not self.affects(line_address):
+            return lane
+        if self.kind in (FaultKind.SINGLE_BIT, FaultKind.SINGLE_COLUMN):
+            byte_index, bit = divmod(self.bit_index, 8)
+            corrupted = bytearray(lane)
+            corrupted[byte_index] ^= 1 << bit
+            return bytes(corrupted)
+        # Word/row/bank/chip faults scramble the whole lane, deterministically
+        # per address so repeated reads see a stable wrong value.
+        scramble_rng = self._rng.fork(line_address)
+        mask = scramble_rng.randbytes(len(lane))
+        if all(b == 0 for b in mask):
+            mask = b"\x01" + mask[1:]
+        return bytes(b ^ m for b, m in zip(lane, mask))

@@ -1,0 +1,58 @@
+"""The 9-chip ECC-DIMM: assembles per-chip lanes into 72-byte lines."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dimm.chips import SimulatedChip
+from repro.dimm.faults import ChipFault
+from repro.dimm.geometry import LANE_BYTES, TOTAL_CHIPS
+
+
+class EccDimm:
+    """One rank of nine x8 chips addressed by cacheline index.
+
+    The DIMM knows nothing about what the lanes *mean* (data, ECC, MAC,
+    parity, counters) — interpretation belongs to the secure-memory layers.
+    It provides exactly what hardware provides: write nine lanes, read nine
+    lanes (possibly corrupted by chip faults).
+    """
+
+    def __init__(self):
+        self.chips = [SimulatedChip(index) for index in range(TOTAL_CHIPS)]
+
+    def write_line(self, line_address: int, lanes: Sequence[bytes]) -> None:
+        """Store a full line as nine 8-byte lanes."""
+        if len(lanes) != TOTAL_CHIPS:
+            raise ValueError("expected %d lanes" % TOTAL_CHIPS)
+        for chip, lane in zip(self.chips, lanes):
+            chip.write(line_address, lane)
+
+    def read_line(self, line_address: int) -> List[bytes]:
+        """Read a full line; chip faults corrupt their lanes."""
+        return [chip.read(line_address) for chip in self.chips]
+
+    def write_lane(self, line_address: int, chip_index: int, lane: bytes) -> None:
+        """Overwrite one chip's lane (scrubbing / correction write-back)."""
+        self.chips[chip_index].write(line_address, lane)
+
+    def inject_fault(self, chip_index: int, fault: ChipFault) -> None:
+        """Inject a fault into one chip."""
+        if not 0 <= chip_index < TOTAL_CHIPS:
+            raise ValueError("chip_index out of range")
+        self.chips[chip_index].inject_fault(fault)
+
+    def clear_faults(self) -> None:
+        """Clear all faults on all chips."""
+        for chip in self.chips:
+            chip.clear_faults()
+
+    @property
+    def faulty_chips(self) -> List[int]:
+        """Indices of chips with at least one active fault."""
+        return [chip.chip_index for chip in self.chips if chip.has_faults]
+
+    @staticmethod
+    def blank_lane() -> bytes:
+        """An all-zero 8-byte lane."""
+        return bytes(LANE_BYTES)

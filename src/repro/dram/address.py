@@ -1,0 +1,62 @@
+"""Physical address mapping: line address -> channel/rank/bank/row/column.
+
+The mapping interleaves consecutive cachelines across channels first (to
+maximise channel-level parallelism for streams), then across banks, keeping
+``lines_per_row`` consecutive per-bank lines in one row for row-buffer
+locality:
+
+    line = [ row | rank | bank | column | channel ]
+
+This is USIMM's default-style interleaving; the sensitivity study of
+Fig. 12 only varies the channel count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import MemoryConfig
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Location of one cacheline in the DRAM organisation."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapper:
+    """Bidirectional line-address <-> DRAM-coordinate mapping."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+
+    def decode(self, line_address: int) -> DecodedAddress:
+        """Split a line address into DRAM coordinates (wraps modulo size)."""
+        config = self.config
+        remaining = line_address % config.total_lines
+        channel = remaining % config.channels
+        remaining //= config.channels
+        column = remaining % config.lines_per_row
+        remaining //= config.lines_per_row
+        bank = remaining % config.banks_per_rank
+        remaining //= config.banks_per_rank
+        rank = remaining % config.ranks_per_channel
+        remaining //= config.ranks_per_channel
+        row = remaining % config.rows_per_bank
+        decoded = DecodedAddress(channel, rank, bank, row, column)
+        return decoded
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`."""
+        config = self.config
+        value = decoded.row
+        value = value * config.ranks_per_channel + decoded.rank
+        value = value * config.banks_per_rank + decoded.bank
+        value = value * config.lines_per_row + decoded.column
+        value = value * config.channels + decoded.channel
+        return value

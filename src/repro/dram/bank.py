@@ -1,0 +1,66 @@
+"""Per-bank state: open row and earliest next-command time.
+
+Open-page policy: a row stays open after an access until a conflicting
+access precharges it. The bank exposes the three-way row-hit / row-miss /
+closed classification the FR-FCFS scheduler prioritises on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import DramTiming
+
+
+class BankState:
+    """Timing state of one DRAM bank (open-page policy)."""
+
+    def __init__(self, timing: DramTiming):
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.ready_at = 0  #: earliest cycle the next command may start
+        self.activated_at = 0  #: when the current row was opened (tRAS)
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def classify(self, row: int) -> str:
+        """'hit', 'miss' (conflict), or 'closed'."""
+        if self.open_row is None:
+            return "closed"
+        return "hit" if self.open_row == row else "miss"
+
+    def access_latency(self, row: int, is_write: bool) -> int:
+        """Command-start to first-data-beat latency for accessing ``row``."""
+        timing = self.timing
+        column = timing.t_cwl if is_write else timing.t_cl
+        kind = self.classify(row)
+        if kind == "hit":
+            return column
+        if kind == "closed":
+            return timing.t_rcd + column
+        return timing.t_rp + timing.t_rcd + column
+
+    def begin_access(self, row: int, start: int, is_write: bool) -> None:
+        """Commit an access starting at ``start``; updates row + ready time."""
+        timing = self.timing
+        kind = self.classify(row)
+        if kind != "hit":
+            self.row_misses += 1
+            if kind == "miss":
+                # Must respect tRAS of the previously open row before PRE;
+                # the caller accounted for PRE+ACT in the latency already.
+                activate_time = start + timing.t_rp
+            else:
+                activate_time = start
+            self.activated_at = activate_time
+            self.open_row = row
+        else:
+            self.row_hits += 1
+        recovery = timing.t_wr if is_write else 0
+        self.ready_at = start + self.access_latency(row, is_write) - (
+            timing.t_cwl if is_write else timing.t_cl
+        ) + timing.t_ccd + recovery
+
+    def earliest_start(self, now: int) -> int:
+        """Earliest cycle a new command to this bank may start."""
+        return max(now, self.ready_at)

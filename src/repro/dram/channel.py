@@ -1,0 +1,125 @@
+"""One memory channel: a set of banks sharing a command/data bus.
+
+The channel tracks per-bank state plus data-bus occupancy and computes, for
+a candidate request, the earliest (start, data_start, completion) triple that
+respects bank timing, bus availability, and read/write turnaround.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dram.bank import BankState
+from repro.dram.timing import DramTiming, MemoryConfig
+
+
+class ChannelState:
+    """Timing state of one channel (banks + shared data bus)."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+        self.timing: DramTiming = config.timing
+        self.banks: List[BankState] = [
+            BankState(config.timing) for _ in range(config.banks_per_channel)
+        ]
+        self.bus_free_at = 0
+        self.last_was_write = False
+        self.busy_cycles = 0  #: data-bus occupancy accumulator (utilisation)
+        #: per-rank recent activate times (tFAW/tRRD bookkeeping)
+        self._recent_activates: List[List[int]] = [
+            [] for _ in range(config.ranks_per_channel)
+        ]
+        self.refresh_stall_cycles = 0
+
+    def flat_bank(self, rank: int, bank: int) -> int:
+        """Flatten (rank, bank) into a channel-local bank index."""
+        return rank * self.config.banks_per_rank + bank
+
+    # -- refresh ------------------------------------------------------------
+
+    def _after_refresh(self, start: int) -> int:
+        """Push ``start`` out of any periodic refresh blackout window.
+
+        All banks of a rank are unavailable for tRFC every tREFI; we model
+        the blackout as channel-wide (ranks refresh staggered in reality —
+        a second-order detail).
+        """
+        if not self.config.model_refresh:
+            return start
+        timing = self.timing
+        phase = start % timing.t_refi
+        if phase < timing.t_rfc:
+            shifted = start + (timing.t_rfc - phase)
+            self.refresh_stall_cycles += shifted - start
+            return shifted
+        return start
+
+    # -- activation window ----------------------------------------------------
+
+    def _after_faw(self, rank: int, start: int, will_activate: bool) -> int:
+        """Respect tFAW (max 4 ACTs per rolling window) and tRRD."""
+        if not self.config.model_faw or not will_activate:
+            return start
+        timing = self.timing
+        history = self._recent_activates[rank]
+        if history:
+            start = max(start, history[-1] + timing.t_rrd)
+        if len(history) >= 4:
+            start = max(start, history[-4] + timing.t_faw)
+        return start
+
+    def plan(
+        self, rank: int, bank: int, row: int, is_write: bool, now: int
+    ) -> Tuple[int, int, int]:
+        """Earliest (command_start, data_start, completion) for a request.
+
+        Pure computation — does not commit any state.
+        """
+        timing = self.timing
+        bank_state = self.banks[self.flat_bank(rank, bank)]
+        start = bank_state.earliest_start(now)
+        will_activate = bank_state.classify(row) != "hit"
+        start = self._after_refresh(start)
+        start = self._after_faw(rank, start, will_activate)
+        latency = bank_state.access_latency(row, is_write)
+        data_start = start + latency
+        turnaround = 0
+        if self.last_was_write and not is_write:
+            turnaround = timing.t_wtr
+        elif not self.last_was_write and is_write:
+            turnaround = timing.t_rtw
+        earliest_bus = self.bus_free_at + turnaround
+        if data_start < earliest_bus:
+            shift = earliest_bus - data_start
+            start += shift
+            data_start += shift
+        completion = data_start + timing.t_burst
+        return start, data_start, completion
+
+    def commit(
+        self, rank: int, bank: int, row: int, is_write: bool, plan: Tuple[int, int, int]
+    ) -> None:
+        """Apply a previously planned access to bank and bus state."""
+        start, data_start, completion = plan
+        bank_state = self.banks[self.flat_bank(rank, bank)]
+        if self.config.model_faw and bank_state.classify(row) != "hit":
+            history = self._recent_activates[rank]
+            history.append(start)
+            if len(history) > 8:
+                del history[:-8]
+        bank_state.begin_access(row, start, is_write)
+        self.bus_free_at = completion
+        self.last_was_write = is_write
+        self.busy_cycles += completion - data_start
+
+    def is_row_hit(self, rank: int, bank: int, row: int) -> bool:
+        """Does ``row`` currently sit in the bank's row buffer?"""
+        return self.banks[self.flat_bank(rank, bank)].classify(row) == "hit"
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Aggregate row-buffer hit rate across banks."""
+        hits = sum(b.row_hits for b in self.banks)
+        misses = sum(b.row_misses for b in self.banks)
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,239 @@
+"""Event-driven memory controller with FR-FCFS scheduling.
+
+Co-simulation contract: producers (the system simulator) enqueue timestamped
+requests; :meth:`MemoryController.process` then schedules everything that
+has been enqueued, in causal order, assigning each request its completion
+cycle. The system alternates "cores run until blocked" and "controller
+schedules" epochs — cores can only block on their own outstanding reads, so
+by the time ``process`` runs, every request that could contend is present.
+
+Scheduling approximates FR-FCFS: at each decision the controller picks the
+queued request with the earliest achievable data transfer (row hits
+naturally win), with age as tie-break, and drains writes in bursts governed
+by watermarks. Command-bus serialisation is modelled at one command per
+cycle; rank-level constraints (tFAW/tRRD) are intentionally omitted
+(second-order for the traffic-volume effects this reproduction targets —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.address import AddressMapper
+from repro.dram.channel import ChannelState
+from repro.dram.scheduler import FrFcfsScheduler
+from repro.dram.timing import MemoryConfig
+from repro.util.stats import StatGroup
+
+
+class RequestKind(enum.Enum):
+    """Memory request direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class Request:
+    """One cacheline-sized memory request."""
+
+    kind: RequestKind
+    line_address: int
+    arrival: int
+    category: str = "data"  #: data | counter | mac | parity | tree
+    core: int = 0
+    channel: int = 0
+    rank: int = 0
+    bank: int = 0
+    row: int = 0
+    flat_bank: int = 0  #: channel-local bank index, precomputed
+    completion: Optional[int] = None
+    sequence: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write."""
+        return self.kind is RequestKind.WRITE
+
+
+@dataclass
+class _ChannelQueues:
+    incoming: List = field(default_factory=list)  # heap of (arrival, seq, req)
+    reads: List[Request] = field(default_factory=list)
+    writes: List[Request] = field(default_factory=list)
+    last_command_start: int = -1
+
+
+class MemoryController:
+    """Schedules requests over the configured channels."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+        self.mapper = AddressMapper(config)
+        self.channels = [ChannelState(config) for _ in range(config.channels)]
+        self.schedulers = [
+            FrFcfsScheduler(config.write_drain_high, config.write_drain_low)
+            for _ in range(config.channels)
+        ]
+        self._queues = [_ChannelQueues() for _ in range(config.channels)]
+        self._sequence = 0
+        self.stats = StatGroup("memory_controller")
+
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        kind: RequestKind,
+        line_address: int,
+        arrival: int,
+        category: str = "data",
+        core: int = 0,
+    ) -> Request:
+        """Add a request; its ``completion`` is set by :meth:`process`."""
+        decoded = self.mapper.decode(line_address)
+        self._sequence += 1
+        request = Request(
+            kind=kind,
+            line_address=line_address,
+            arrival=arrival,
+            category=category,
+            core=core,
+            channel=decoded.channel,
+            rank=decoded.rank,
+            bank=decoded.bank,
+            row=decoded.row,
+            flat_bank=decoded.rank * self.config.banks_per_rank + decoded.bank,
+            sequence=self._sequence,
+        )
+        queues = self._queues[decoded.channel]
+        heapq.heappush(queues.incoming, (arrival, request.sequence, request))
+        self.stats.counter("requests_%s" % kind.value).add()
+        self.stats.counter("traffic_%s_%s" % (category, kind.value)).add()
+        return request
+
+    # ------------------------------------------------------------------
+
+    def process(self) -> None:
+        """Schedule every enqueued request, assigning completions."""
+        for channel_index in range(self.config.channels):
+            self._process_channel(channel_index)
+
+    def _process_channel(self, channel_index: int) -> None:
+        channel = self.channels[channel_index]
+        scheduler = self.schedulers[channel_index]
+        queues = self._queues[channel_index]
+
+        while queues.incoming or queues.reads or queues.writes:
+            if not queues.reads and not queues.writes:
+                # Idle: jump to the next arrival.
+                arrival, _seq, request = heapq.heappop(queues.incoming)
+                self._admit(queues, request)
+                horizon = arrival
+            else:
+                horizon = queues.last_command_start + 1
+            # Admit everything that has arrived by the current horizon.
+            self._admit_until(queues, horizon)
+
+            chosen, choice = self._choose(channel, scheduler, queues, horizon)
+            if chosen is None:
+                continue
+            plan, pool, pool_index = choice
+            # Late arrivals before the chosen command start could alter the
+            # decision; admit them and re-choose once.
+            if queues.incoming and queues.incoming[0][0] <= plan[0]:
+                self._admit_until(queues, plan[0])
+                chosen, choice = self._choose(channel, scheduler, queues, horizon)
+                if chosen is None:
+                    continue
+                plan, pool, pool_index = choice
+
+            channel.commit(chosen.rank, chosen.bank, chosen.row, chosen.is_write, plan)
+            chosen.completion = plan[2]
+            queues.last_command_start = plan[0]
+            pool.pop(pool_index)
+            self._record(chosen, plan)
+
+    def _admit(self, queues: _ChannelQueues, request: Request) -> None:
+        (queues.writes if request.is_write else queues.reads).append(request)
+
+    def _admit_until(self, queues: _ChannelQueues, horizon: int) -> None:
+        while queues.incoming and queues.incoming[0][0] <= horizon:
+            _arrival, _seq, request = heapq.heappop(queues.incoming)
+            self._admit(queues, request)
+
+    #: Scheduler candidate window: only the oldest WINDOW queued requests
+    #: are considered per decision (real FR-FCFS pickers have bounded
+    #: associative search too). Keeps each decision O(WINDOW).
+    WINDOW = 16
+
+    def _choose(self, channel, scheduler, queues, horizon):
+        """Pick the request with the earliest achievable data start.
+
+        The key is estimated cheaply from bank state alone (the data-bus
+        shift is common to all candidates); the full plan is computed once,
+        for the winner.
+        """
+        scheduler.update_drain_mode(len(queues.writes), len(queues.reads))
+        use_writes = scheduler.draining and queues.writes
+        pool = queues.writes if use_writes else queues.reads
+        if not pool:
+            pool = queues.writes or queues.reads
+        if not pool:
+            return None, None
+        banks = channel.banks
+        best = None
+        best_index = -1
+        best_key = None
+        for index, request in enumerate(pool[: self.WINDOW]):
+            bank = banks[request.flat_bank]
+            earliest = request.arrival
+            if horizon > earliest:
+                earliest = horizon
+            if bank.ready_at > earliest:
+                earliest = bank.ready_at
+            estimate = earliest + bank.access_latency(request.row, request.is_write)
+            key = (estimate, request.arrival, request.sequence)
+            if best_key is None or key < best_key:
+                best, best_index, best_key = request, index, key
+        earliest = max(horizon, best.arrival)
+        plan = channel.plan(best.rank, best.bank, best.row, best.is_write, earliest)
+        return best, (plan, pool, best_index)
+
+    def _record(self, request: Request, plan) -> None:
+        start, data_start, completion = plan
+        del start
+        latency = completion - request.arrival
+        if request.is_write:
+            self.stats.histogram("write_latency").record(latency)
+        else:
+            self.stats.histogram("read_latency").record(latency)
+        self.stats.counter("data_bus_cycles").add(completion - data_start)
+
+    # ------------------------------------------------------------------
+
+    def traffic_by_category(self) -> Dict[str, int]:
+        """Access counts keyed by '<category>_<read|write>'."""
+        result: Dict[str, int] = {}
+        for name, stat in self.stats:
+            if name.startswith("traffic_"):
+                result[name[len("traffic_") :]] = stat.value  # type: ignore[attr-defined]
+        return result
+
+    @property
+    def last_completion(self) -> int:
+        """Latest data-bus release across channels (end of simulation)."""
+        return max(channel.bus_free_at for channel in self.channels)
+
+    def activation_counts(self) -> Dict[str, int]:
+        """Row activations and accesses for the energy model."""
+        activations = sum(
+            bank.row_misses for channel in self.channels for bank in channel.banks
+        )
+        hits = sum(
+            bank.row_hits for channel in self.channels for bank in channel.banks
+        )
+        return {"activations": activations, "row_hits": hits}

@@ -1,0 +1,58 @@
+"""Micron-style DRAM energy accounting.
+
+Energy is accumulated from event counts the controller already tracks:
+row activations (ACT+PRE pair), column reads/writes (including I/O), and a
+static background component proportional to wall-clock time. Constants are
+representative DDR3 x8 values scaled to a 9-chip rank; absolute joules are
+not the point — the *relative* energy of designs with different traffic
+volumes is, which is what Fig. 10 and Fig. 16/17 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramEnergyParams:
+    """Per-event and static energy constants for one channel's DIMMs."""
+
+    activate_nj: float = 22.0  #: ACT + PRE energy per row activation
+    read_nj: float = 14.0  #: column read incl. I/O, per 64B line
+    write_nj: float = 16.0  #: column write incl. ODT, per 64B line
+    background_mw_per_rank: float = 120.0  #: static + refresh per rank
+    memory_clock_ghz: float = 0.8
+
+
+@dataclass
+class DramEnergyReport:
+    """Broken-down DRAM energy for one simulation."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        """Total DRAM energy in nanojoules."""
+        return self.activate_nj + self.read_nj + self.write_nj + self.background_nj
+
+
+def dram_energy(
+    activations: int,
+    reads: int,
+    writes: int,
+    elapsed_cycles: int,
+    ranks: int,
+    params: DramEnergyParams = DramEnergyParams(),
+) -> DramEnergyReport:
+    """Compute DRAM energy from event counts and elapsed memory cycles."""
+    elapsed_ns = elapsed_cycles / params.memory_clock_ghz
+    background = params.background_mw_per_rank * ranks * elapsed_ns * 1e-3
+    return DramEnergyReport(
+        activate_nj=activations * params.activate_nj,
+        read_nj=reads * params.read_nj,
+        write_nj=writes * params.write_nj,
+        background_nj=background,
+    )

@@ -1,0 +1,59 @@
+"""FR-FCFS scheduling with write-drain watermarks (USIMM-style policy).
+
+Reads have priority; writes are buffered and drained in bursts once the
+write queue crosses its high watermark, continuing until the low watermark.
+Within a class, First-Ready (row hit) requests go first, ties broken by age
+— the classic FR-FCFS policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.channel import ChannelState
+
+
+class FrFcfsScheduler:
+    """Pick the next request for one channel."""
+
+    def __init__(self, drain_high: int, drain_low: int):
+        self.drain_high = drain_high
+        self.drain_low = drain_low
+        self.draining = False
+
+    def update_drain_mode(self, write_queue_depth: int, read_queue_depth: int) -> None:
+        """Hysteresis: enter drain at HIGH, leave at LOW (or when reads wait)."""
+        if self.draining:
+            if write_queue_depth <= self.drain_low:
+                self.draining = False
+        else:
+            if write_queue_depth >= self.drain_high:
+                self.draining = True
+        if read_queue_depth == 0 and write_queue_depth > 0:
+            # Opportunistic writes when the channel would otherwise idle.
+            self.draining = True
+
+    def choose(
+        self,
+        channel: ChannelState,
+        reads: List,
+        writes: List,
+    ) -> Optional[object]:
+        """Select the next request (from ``reads``/``writes``) or None.
+
+        Request objects must expose .rank/.bank/.row/.arrival attributes.
+        """
+        self.update_drain_mode(len(writes), len(reads))
+        queue = writes if (self.draining and writes) else reads
+        if not queue:
+            queue = writes if writes else reads
+        if not queue:
+            return None
+        best = None
+        best_key = None
+        for request in queue:
+            hit = channel.is_row_hit(request.rank, request.bank, request.row)
+            key = (0 if hit else 1, request.arrival)
+            if best_key is None or key < best_key:
+                best, best_key = request, key
+        return best

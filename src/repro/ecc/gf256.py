@@ -1,0 +1,92 @@
+"""GF(2^8) arithmetic for symbol-based (Reed-Solomon / Chipkill) codes.
+
+Uses the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the
+conventional choice for RS codes; exp/log tables are built once at import.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _PRIMITIVE_POLY
+for _power in range(255, 512):
+    _EXP[_power] = _EXP[_power - 255]
+
+
+def gf_add(left: int, right: int) -> int:
+    """Addition in GF(2^8) is XOR."""
+    return left ^ right
+
+
+def gf_mul(left: int, right: int) -> int:
+    """Multiply two field elements via log tables."""
+    if left == 0 or right == 0:
+        return 0
+    return _EXP[_LOG[left] + _LOG[right]]
+
+
+def gf_div(numerator: int, denominator: int) -> int:
+    """Divide field elements; division by zero raises."""
+    if denominator == 0:
+        raise ZeroDivisionError("GF(2^8) division by zero")
+    if numerator == 0:
+        return 0
+    return _EXP[(_LOG[numerator] - _LOG[denominator]) % 255]
+
+
+def gf_inv(value: int) -> int:
+    """Multiplicative inverse."""
+    if value == 0:
+        raise ZeroDivisionError("zero has no inverse")
+    return _EXP[255 - _LOG[value]]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """Exponentiation."""
+    if base == 0:
+        return 0 if exponent else 1
+    return _EXP[(_LOG[base] * exponent) % 255]
+
+
+def alpha_pow(exponent: int) -> int:
+    """Power of the primitive element alpha = 2."""
+    return _EXP[exponent % 255]
+
+
+def gf_log(value: int) -> int:
+    """Discrete log base alpha; log(0) raises."""
+    if value == 0:
+        raise ValueError("log of zero is undefined")
+    return _LOG[value]
+
+
+def poly_eval(coefficients: List[int], point: int) -> int:
+    """Evaluate a polynomial (highest-degree coefficient first) at ``point``."""
+    result = 0
+    for coefficient in coefficients:
+        result = gf_mul(result, point) ^ coefficient
+    return result
+
+
+def poly_mul(left: List[int], right: List[int]) -> List[int]:
+    """Multiply two polynomials over GF(2^8)."""
+    product = [0] * (len(left) + len(right) - 1)
+    for i, a in enumerate(left):
+        if a == 0:
+            continue
+        for j, b in enumerate(right):
+            if b:
+                product[i + j] ^= gf_mul(a, b)
+    return product

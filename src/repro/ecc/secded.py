@@ -1,0 +1,117 @@
+"""SECDED: single-error-correct, double-error-detect Hamming(72,64).
+
+This is the code a conventional x8 ECC-DIMM stores in its ninth chip
+(8 check bits per 64 data bits). We implement an extended Hamming code:
+check bits at power-of-two positions of a 72-bit codeword plus an overall
+parity bit, giving Hamming distance 4 — correct any 1-bit error, detect any
+2-bit error.
+
+The paper's baseline designs (SGX, SGX_O with ECC-DIMM) rely on exactly this
+capability, and its weakness — any multi-bit chip failure defeats it — is
+what motivates Synergy's chip-granularity protection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+_DATA_BITS = 64
+_PARITY_POSITIONS = [1, 2, 4, 8, 16, 32, 64]  # within 1..71 (extended below)
+_CODE_BITS = 72  # 64 data + 7 Hamming checks + 1 overall parity
+
+
+class SecdedStatus(enum.Enum):
+    """Outcome of a SECDED decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+@dataclass
+class SecdedResult:
+    """Decoded data plus what the decoder had to do to get it."""
+
+    data: Optional[int]
+    status: SecdedStatus
+    flipped_bit: Optional[int] = None  # codeword bit position corrected
+
+
+def _data_positions():
+    """Codeword positions 1..71 that hold data bits (non powers of two)."""
+    positions = []
+    for position in range(1, _CODE_BITS):
+        if position & (position - 1) != 0:
+            positions.append(position)
+    return positions
+
+
+# Positions 1..71 contain 7 parity positions, leaving exactly 64 for data.
+_DATA_POSITIONS = _data_positions()
+assert len(_DATA_POSITIONS) == _DATA_BITS
+
+
+class Secded72_64:
+    """Encoder/decoder for the (72, 64) extended Hamming code.
+
+    Codeword layout: bit 0 is the overall parity; bits 1..71 follow the
+    classic Hamming arrangement with parity bits at power-of-two positions.
+    """
+
+    data_bits = _DATA_BITS
+    code_bits = _CODE_BITS
+
+    def encode(self, data: int) -> int:
+        """Encode a 64-bit integer into a 72-bit codeword."""
+        if not 0 <= data < (1 << _DATA_BITS):
+            raise ValueError("data must be a 64-bit value")
+        codeword = 0
+        for bit_index, position in enumerate(_DATA_POSITIONS):
+            if (data >> bit_index) & 1:
+                codeword |= 1 << position
+        for parity_position in _PARITY_POSITIONS:
+            parity = 0
+            for position in range(1, _CODE_BITS):
+                if position & parity_position and (codeword >> position) & 1:
+                    parity ^= 1
+            if parity:
+                codeword |= 1 << parity_position
+        overall = bin(codeword).count("1") & 1
+        codeword |= overall  # bit 0
+        return codeword
+
+    def decode(self, codeword: int) -> SecdedResult:
+        """Decode a 72-bit codeword, correcting single-bit errors."""
+        if not 0 <= codeword < (1 << _CODE_BITS):
+            raise ValueError("codeword must be a 72-bit value")
+        syndrome = 0
+        for parity_position in _PARITY_POSITIONS:
+            parity = 0
+            for position in range(1, _CODE_BITS):
+                if position & parity_position and (codeword >> position) & 1:
+                    parity ^= 1
+            if parity:
+                syndrome |= parity_position
+        overall = bin(codeword).count("1") & 1
+
+        if syndrome == 0 and overall == 0:
+            return SecdedResult(self._extract(codeword), SecdedStatus.CLEAN)
+        if overall == 1:
+            # Odd number of flipped bits: assume exactly one, correct it.
+            flip_position = syndrome if syndrome != 0 else 0
+            corrected = codeword ^ (1 << flip_position)
+            return SecdedResult(
+                self._extract(corrected), SecdedStatus.CORRECTED, flip_position
+            )
+        # Even error count with non-zero syndrome: detected, uncorrectable.
+        return SecdedResult(None, SecdedStatus.DETECTED_UNCORRECTABLE)
+
+    @staticmethod
+    def _extract(codeword: int) -> int:
+        data = 0
+        for bit_index, position in enumerate(_DATA_POSITIONS):
+            if (codeword >> position) & 1:
+                data |= 1 << bit_index
+        return data

@@ -1,0 +1,13 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.harness.scales` — quick/default/full scale presets.
+* :mod:`repro.harness.report` — ASCII rendering of series and tables.
+* :mod:`repro.harness.experiments` — ``fig6`` ... ``fig17``, ``table1``
+  ... ``table3`` plus the ablation studies; each prints the paper-style
+  rows and returns the raw numbers.
+* :mod:`repro.harness.cli` — the ``synergy-repro`` command-line entry.
+"""
+
+from repro.harness.scales import Scale, resolve_scale
+
+__all__ = ["Scale", "resolve_scale"]

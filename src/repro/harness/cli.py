@@ -1,0 +1,59 @@
+"""Command-line entry point: ``synergy-repro`` / ``python -m repro.harness.cli``.
+
+Examples::
+
+    synergy-repro fig8                 # headline performance figure
+    synergy-repro fig11 --scale full   # reliability at full Monte-Carlo scale
+    synergy-repro all --scale quick    # everything, smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.scales import resolve_scale
+
+#: Experiments that take no scale argument (pure tables/arithmetic).
+_UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one (or all) experiments from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="synergy-repro",
+        description="Regenerate the tables and figures of SYNERGY (HPCA 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="quick | default | full (or set REPRO_SCALE)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        function = EXPERIMENTS[name]
+        print("=" * 72)
+        print("Experiment:", name)
+        print("=" * 72)
+        started = time.time()
+        if name in _UNSCALED:
+            function()
+        else:
+            function(resolve_scale(args.scale))
+        print("[%s finished in %.1fs]" % (name, time.time() - started))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

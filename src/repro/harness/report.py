@@ -1,0 +1,55 @@
+"""ASCII rendering of experiment output (series, tables, comparisons)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict[str, float]],
+    title: str = "",
+    value_format: str = "%.3f",
+) -> str:
+    """Render named series over shared x-labels (a text stand-in for bars).
+
+    ``series`` maps series-name -> {x-label: value}.
+    """
+    labels: List[str] = []
+    for values in series.values():
+        for label in values:
+            if label not in labels:
+                labels.append(label)
+    headers = ["workload"] + list(series)
+    rows = []
+    for label in labels:
+        row = [label]
+        for name in series:
+            value = series[name].get(label)
+            row.append("-" if value is None else value_format % value)
+        rows.append(row)
+    return render_table(headers, rows, title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)

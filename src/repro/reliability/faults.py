@@ -1,0 +1,110 @@
+"""Fault instances with address footprints, and overlap tests.
+
+A fault lives on one chip and covers a rectangular footprint in the chip's
+(bank, row, column) space, possibly for a bounded time window (transient
+faults disappear at the next scrub). Two faults on *different* chips of a
+protection group defeat chip-level correction only if their footprints
+intersect — i.e. some codeword has corrupted symbols from two chips — and
+their active windows overlap in time. This is the FAULTSIM methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.reliability.fitrates import FaultGranularity
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Internal organisation of one DRAM chip (for footprint arithmetic)."""
+
+    banks: int = 8
+    rows_per_bank: int = 64 * 1024
+    words_per_row: int = 1024  #: 8KB row / 8B contribution per word
+
+    @property
+    def words_per_chip(self) -> int:
+        """Total addressable words."""
+        return self.banks * self.rows_per_bank * self.words_per_row
+
+
+@dataclass(frozen=True)
+class FaultInstance:
+    """One fault on one chip.
+
+    ``bank``/``row``/``column`` anchor the footprint; whether each axis is
+    a single coordinate or spans everything follows from the granularity.
+    ``end_hour`` is None for permanent faults (active until end of life).
+    """
+
+    chip: int
+    granularity: FaultGranularity
+    transient: bool
+    start_hour: float
+    end_hour: Optional[float]
+    bank: int = 0
+    row: int = 0
+    column: int = 0
+    bit: int = 0  #: bit position within the word (single-bit faults)
+
+    def active_during(self, other: "FaultInstance") -> bool:
+        """Do the two faults' active windows intersect?"""
+        start = max(self.start_hour, other.start_hour)
+        end = min(
+            self.end_hour if self.end_hour is not None else float("inf"),
+            other.end_hour if other.end_hour is not None else float("inf"),
+        )
+        return start <= end
+
+    # -- axis coverage -----------------------------------------------------
+
+    def covers_all_banks(self) -> bool:
+        """Whole-chip-scale faults span every bank."""
+        return self.granularity in (
+            FaultGranularity.MULTI_BANK,
+            FaultGranularity.MULTI_RANK,
+        )
+
+    def covers_all_rows(self) -> bool:
+        """Column/bank/chip faults span every row of their bank(s)."""
+        return self.granularity in (
+            FaultGranularity.SINGLE_COLUMN,
+            FaultGranularity.SINGLE_BANK,
+            FaultGranularity.MULTI_BANK,
+            FaultGranularity.MULTI_RANK,
+        )
+
+    def covers_all_columns(self) -> bool:
+        """Row/bank/chip faults span every column of their row(s)."""
+        return self.granularity in (
+            FaultGranularity.SINGLE_ROW,
+            FaultGranularity.SINGLE_BANK,
+            FaultGranularity.MULTI_BANK,
+            FaultGranularity.MULTI_RANK,
+        )
+
+
+def _axis_intersects(a_all: bool, a_coord: int, b_all: bool, b_coord: int) -> bool:
+    if a_all or b_all:
+        return True
+    return a_coord == b_coord
+
+
+def footprints_intersect(a: FaultInstance, b: FaultInstance) -> bool:
+    """Do the two faults corrupt at least one common word address?"""
+    return (
+        _axis_intersects(a.covers_all_banks(), a.bank, b.covers_all_banks(), b.bank)
+        and _axis_intersects(
+            a.covers_all_rows(), a.row, b.covers_all_rows(), b.row
+        )
+        and _axis_intersects(
+            a.covers_all_columns(), a.column, b.covers_all_columns(), b.column
+        )
+    )
+
+
+def faults_overlap(a: FaultInstance, b: FaultInstance) -> bool:
+    """Spatial *and* temporal overlap (the uncorrectability condition)."""
+    return a.active_during(b) and footprints_intersect(a, b)

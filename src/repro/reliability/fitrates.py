@@ -1,0 +1,79 @@
+"""The DRAM fault model of Table I (Sridharan & Liberty field study).
+
+FIT = failures per billion device-hours, per DRAM chip, split by failure
+granularity and permanence. These rates drive both the Monte-Carlo
+simulator and the analytical cross-checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class FaultGranularity(enum.Enum):
+    """Spatial extent of a chip fault (Table I rows)."""
+
+    SINGLE_BIT = "single_bit"
+    SINGLE_WORD = "single_word"
+    SINGLE_COLUMN = "single_column"
+    SINGLE_ROW = "single_row"
+    SINGLE_BANK = "single_bank"
+    MULTI_BANK = "multi_bank"
+    MULTI_RANK = "multi_rank"
+
+
+@dataclass(frozen=True)
+class FaultMode:
+    """One (granularity, permanence) cell of Table I."""
+
+    granularity: FaultGranularity
+    transient: bool
+    fit: float
+
+    @property
+    def is_large(self) -> bool:
+        """Whether the fault spans more than one bit (defeats SECDED)."""
+        return self.granularity is not FaultGranularity.SINGLE_BIT
+
+
+#: Table I, verbatim: DRAM failures per billion device-hours.
+_TABLE_I: Dict[FaultGranularity, Dict[str, float]] = {
+    FaultGranularity.SINGLE_BIT: {"transient": 14.2, "permanent": 18.6},
+    FaultGranularity.SINGLE_WORD: {"transient": 1.4, "permanent": 0.3},
+    FaultGranularity.SINGLE_COLUMN: {"transient": 1.4, "permanent": 5.6},
+    FaultGranularity.SINGLE_ROW: {"transient": 0.2, "permanent": 8.2},
+    FaultGranularity.SINGLE_BANK: {"transient": 0.8, "permanent": 10.0},
+    FaultGranularity.MULTI_BANK: {"transient": 0.3, "permanent": 1.4},
+    FaultGranularity.MULTI_RANK: {"transient": 0.9, "permanent": 2.8},
+}
+
+FAULT_MODES: List[FaultMode] = [
+    FaultMode(granularity, permanence == "transient", fit)
+    for granularity, cells in _TABLE_I.items()
+    for permanence, fit in cells.items()
+]
+
+
+def total_fit_per_chip() -> float:
+    """Aggregate FIT rate of one DRAM chip (sum of Table I)."""
+    return sum(mode.fit for mode in FAULT_MODES)
+
+
+def single_bit_fraction() -> float:
+    """Fraction of failures that are single-bit (~50% per Section II-B)."""
+    single = sum(
+        mode.fit
+        for mode in FAULT_MODES
+        if mode.granularity is FaultGranularity.SINGLE_BIT
+    )
+    return single / total_fit_per_chip()
+
+
+def fit_by_granularity() -> Dict[FaultGranularity, float]:
+    """Total FIT (transient + permanent) per granularity."""
+    totals: Dict[FaultGranularity, float] = {}
+    for mode in FAULT_MODES:
+        totals[mode.granularity] = totals.get(mode.granularity, 0.0) + mode.fit
+    return totals

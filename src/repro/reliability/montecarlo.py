@@ -1,0 +1,155 @@
+"""Monte-Carlo reliability simulation (the FAULTSIM methodology).
+
+For each simulated device (one protection group of chips), fault arrivals
+are Poisson with the Table I FIT rates over a 7-year lifetime; each fault
+gets a uniformly random location and — if transient — a bounded active
+window ending at the next scrub. The device fails if the scheme's
+uncorrectability predicate ever holds.
+
+Two implementations share the same sampling logic:
+
+* :func:`simulate_device` — per-device, fully explicit; the reference used
+  by unit tests.
+* :func:`simulate_failure_probability` — batched over N devices with a
+  numpy fast path for the (overwhelmingly common) 0/1-fault devices and
+  the explicit predicate only for multi-fault devices. This is how the
+  billion-device scale of the paper becomes tractable in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.reliability.faults import ChipGeometry, FaultInstance
+from repro.reliability.fitrates import FAULT_MODES, FaultGranularity, FaultMode
+from repro.reliability.schemes import ProtectionScheme
+from repro.util.rng import DeterministicRng
+from repro.util.units import HOURS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Parameters of one reliability experiment."""
+
+    devices: int = 200_000
+    lifetime_years: float = 7.0
+    #: Transient faults are repaired at the next scrub; Table I transients
+    #: otherwise persist forever, which field studies contradict.
+    scrub_interval_hours: float = 24.0
+    geometry: ChipGeometry = field(default_factory=ChipGeometry)
+    seed: int = 2018
+
+    @property
+    def lifetime_hours(self) -> float:
+        """Device lifetime in hours."""
+        return self.lifetime_years * HOURS_PER_YEAR
+
+
+def _sample_fault(
+    rng: DeterministicRng,
+    chip: int,
+    mode: FaultMode,
+    config: MonteCarloConfig,
+) -> FaultInstance:
+    """Draw location and timing for one fault arrival."""
+    geometry = config.geometry
+    start = rng.uniform(0.0, config.lifetime_hours)
+    if mode.transient:
+        end: Optional[float] = start + config.scrub_interval_hours
+    else:
+        end = None
+    return FaultInstance(
+        chip=chip,
+        granularity=mode.granularity,
+        transient=mode.transient,
+        start_hour=start,
+        end_hour=end,
+        bank=rng.randint(0, geometry.banks - 1),
+        row=rng.randint(0, geometry.rows_per_bank - 1),
+        column=rng.randint(0, geometry.words_per_row - 1),
+        bit=rng.randint(0, 63),
+    )
+
+
+def sample_device_faults(
+    rng: DeterministicRng, scheme: ProtectionScheme, config: MonteCarloConfig
+) -> List[FaultInstance]:
+    """All fault arrivals for one device over its lifetime."""
+    faults: List[FaultInstance] = []
+    for chip in range(scheme.chips):
+        for mode in FAULT_MODES:
+            expected = mode.fit * 1e-9 * config.lifetime_hours
+            arrivals = rng.poisson(expected)
+            for _ in range(arrivals):
+                faults.append(_sample_fault(rng, chip, mode, config))
+    return faults
+
+
+def simulate_device(
+    rng: DeterministicRng, scheme: ProtectionScheme, config: MonteCarloConfig
+) -> bool:
+    """Reference path: does one simulated device fail?"""
+    return scheme.device_fails(sample_device_faults(rng, scheme, config))
+
+
+def simulate_failure_probability(
+    scheme: ProtectionScheme, config: MonteCarloConfig = MonteCarloConfig()
+) -> float:
+    """Probability of device failure over the lifetime (Fig. 11's metric).
+
+    Fast path: the number of faults per device is Poisson with a small
+    mean, so devices are binned by fault count with numpy. Zero-fault
+    devices survive. Single-fault devices fail only under SECDED and only
+    for multi-bit faults — a Bernoulli, also vectorised. Multi-fault
+    devices (a ~1e-4 fraction) run the explicit predicate.
+    """
+    lifetime = config.lifetime_hours
+    per_chip_rate = sum(mode.fit for mode in FAULT_MODES) * 1e-9 * lifetime
+    device_rate = per_chip_rate * scheme.chips
+
+    rng_np = np.random.default_rng(config.seed)
+    counts = rng_np.poisson(device_rate, config.devices)
+
+    failures = 0
+    single_fault_devices = int(np.count_nonzero(counts == 1))
+    if not scheme.chip_correcting and single_fault_devices:
+        large_fraction = (
+            sum(m.fit for m in FAULT_MODES if m.is_large)
+            / sum(m.fit for m in FAULT_MODES)
+        )
+        failures += int(
+            rng_np.binomial(single_fault_devices, large_fraction)
+        )
+    # Chip-correcting schemes survive any single fault by construction.
+
+    multi_indices = np.flatnonzero(counts >= 2)
+    rng = DeterministicRng(config.seed)
+    mode_weights = [mode.fit for mode in FAULT_MODES]
+    for device_index in multi_indices:
+        count = int(counts[device_index])
+        device_rng = rng.fork("device", int(device_index))
+        faults = []
+        for _ in range(count):
+            chip = device_rng.randint(0, scheme.chips - 1)
+            mode = device_rng.weighted_choice(FAULT_MODES, mode_weights)
+            faults.append(_sample_fault(device_rng, chip, mode, config))
+        if scheme.device_fails(faults):
+            failures += 1
+    return failures / config.devices
+
+
+def failure_probability_series(
+    scheme: ProtectionScheme,
+    years: List[float],
+    config: MonteCarloConfig = MonteCarloConfig(),
+) -> List[float]:
+    """Failure probability at several lifetimes (for time-series plots)."""
+    from dataclasses import replace
+
+    return [
+        simulate_failure_probability(scheme, replace(config, lifetime_years=y))
+        for y in years
+    ]

@@ -1,0 +1,35 @@
+"""Secure-memory machinery: metadata layout, counters, MACs, integrity trees.
+
+Functional plane:
+
+* :mod:`repro.secure.metadata_layout` — where counters, MACs, parities and
+  integrity-tree levels live in the physical line address space.
+* :mod:`repro.secure.counters` — counter-line packing (8 x 56-bit counters +
+  64-bit MAC, one counter and one MAC byte per chip) and the split-counter
+  compression model.
+* :mod:`repro.secure.mac` — per-line-type MAC computations.
+* :mod:`repro.secure.counter_tree` — Bonsai-style 8-ary counter tree state.
+* :mod:`repro.secure.memory` — the baseline SGX-like secure memory over a
+  SECDED ECC-DIMM (the paper's SGX / SGX_O functional reference).
+* :mod:`repro.secure.mac_tree` — the non-Bonsai Merkle MAC tree IVEC uses.
+
+Timing plane:
+
+* :mod:`repro.secure.designs` — Table II design descriptors.
+* :mod:`repro.secure.timing_engine` — per-design metadata traffic expansion.
+"""
+
+from repro.secure.errors import (
+    AttackDetected,
+    SecureMemoryError,
+    UncorrectableError,
+)
+from repro.secure.metadata_layout import MetadataLayout, Region
+
+__all__ = [
+    "AttackDetected",
+    "SecureMemoryError",
+    "UncorrectableError",
+    "MetadataLayout",
+    "Region",
+]

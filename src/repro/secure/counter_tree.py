@@ -1,0 +1,171 @@
+"""Bonsai-style 8-ary counter tree state.
+
+The tree's leaves are the encryption-counter lines; every level above holds
+tree counters, eight per line plus a 64-bit MAC keyed by the *parent's*
+counter; the single top line is keyed by an on-chip root register. Data MACs
+are deliberately *not* part of the tree (the Bonsai property, Section II-A4)
+— protecting the counters alone suffices to prevent replay of the whole
+{Data, MAC, Counter} tuple, and it is what lets Synergy move data MACs into
+the ECC chip without disturbing tree construction (Section VII-A1).
+
+This class owns tree *state* (root register, on-chip metadata cache) and
+mechanism (counter bumping along a verification chain); *policy* — how lines
+are physically encoded and how mismatches are handled — belongs to the
+owning memory class, which supplies a :class:`LineStore` and performs its
+own walks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.secure.counters import COUNTERS_PER_LINE
+from repro.secure.mac import LineMacCalculator
+from repro.secure.metadata_layout import ROOT_PARENT, MetadataLayout
+
+
+class LineStore(Protocol):
+    """Physical encode/decode of counter-type lines, supplied per design."""
+
+    def load_counter_line(
+        self, address: int
+    ) -> Optional[Tuple[List[int], bytes]]:
+        """Raw (counters, mac) from memory, or None if never written."""
+
+    def store_counter_line(
+        self, address: int, counters: List[int], mac: bytes
+    ) -> None:
+        """Encode and store a counter-type line."""
+
+
+class MetadataCache:
+    """On-chip cache of *trusted* counter lines (LRU, line-granular).
+
+    Functional-plane semantics: a hit returns values immune to memory faults
+    (they live on-chip), which is exactly the property the tree walk uses to
+    terminate (Fig. 7: "this entry is assumed to be free from errors since
+    it is found on-chip"). Capacity ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._lines: "OrderedDict[int, List[int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, address: int) -> Optional[List[int]]:
+        """Return trusted counters for ``address`` or None."""
+        counters = self._lines.get(address)
+        if counters is None:
+            self.misses += 1
+            return None
+        self._lines.move_to_end(address)
+        self.hits += 1
+        return counters
+
+    def contains(self, address: int) -> bool:
+        """Presence check without touching hit/miss stats or LRU order."""
+        return address in self._lines
+
+    def insert(self, address: int, counters: List[int]) -> None:
+        """Insert/refresh a trusted line, evicting LRU on overflow.
+
+        The functional plane is write-through, so evictions are silent.
+        """
+        self._lines[address] = list(counters)
+        self._lines.move_to_end(address)
+        if self.capacity is not None and len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+
+    def invalidate(self, address: int) -> None:
+        """Drop a line (test hook to force walks deeper)."""
+        self._lines.pop(address, None)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._lines.clear()
+
+
+class CounterTree:
+    """Counter state: root register, cache, and chain bumping."""
+
+    def __init__(
+        self,
+        layout: MetadataLayout,
+        mac_calc: LineMacCalculator,
+        store: LineStore,
+        cache_capacity: Optional[int] = None,
+    ):
+        self.layout = layout
+        self.mac_calc = mac_calc
+        self.store = store
+        self.cache = MetadataCache(cache_capacity)
+        self.root = 0
+
+    # -- chain helpers ------------------------------------------------------
+
+    def parent_value(
+        self, chain: List[Tuple[int, int]], index: int, trusted: Dict[int, List[int]]
+    ) -> int:
+        """The counter that keys the MAC of ``chain[index]``'s line.
+
+        For the top line it is the on-chip root; otherwise it is the covering
+        slot in the next line up, whose trusted values the caller provides.
+        """
+        if index == len(chain) - 1:
+            return self.root
+        parent_address, parent_slot = chain[index + 1]
+        return trusted[parent_address][parent_slot]
+
+    def fresh_line(self) -> List[int]:
+        """Counters of a never-written line (all zero)."""
+        return [0] * COUNTERS_PER_LINE
+
+    def load_or_fresh(self, address: int) -> Tuple[List[int], Optional[bytes]]:
+        """Load raw line content; a never-written line materialises as zeros.
+
+        Returns (counters, mac); mac is None for fresh lines — the caller
+        treats a fresh line as implicitly valid (its parent slot must also be
+        zero in any untampered execution) and writes it back properly.
+        """
+        loaded = self.store.load_counter_line(address)
+        if loaded is None:
+            return self.fresh_line(), None
+        return loaded
+
+    # -- mutation -----------------------------------------------------------
+
+    def bump_chain(
+        self, chain: List[Tuple[int, int]], trusted: Dict[int, List[int]]
+    ) -> int:
+        """Increment the write counters along a verification chain.
+
+        ``trusted`` maps every chain line address to its current verified
+        counters (the caller obtained them via its walk). Increments the
+        covering slot at every level plus the root, recomputes each line's
+        MAC under its *new* parent value, stores the lines, refreshes the
+        cache, and returns the new leaf (encryption) counter.
+        """
+        for address, _ in chain:
+            if address not in trusted:
+                raise KeyError("chain line %d not in trusted set" % address)
+        updated: Dict[int, List[int]] = {
+            address: list(trusted[address]) for address, _ in chain
+        }
+        for address, slot in chain:
+            updated[address][slot] += 1
+        self.root += 1
+        # Recompute MACs with the incremented parent values, top-down so the
+        # ordering mirrors hardware (parents final before children signed —
+        # functionally order-free since values are already settled).
+        for index in range(len(chain) - 1, -1, -1):
+            address, _ = chain[index]
+            parent = self.parent_value(chain, index, updated)
+            mac = self.mac_calc.counter_line_mac(address, parent, updated[address])
+            self.store.store_counter_line(address, updated[address], mac)
+            self.cache.insert(address, updated[address])
+        leaf_address, leaf_slot = chain[0]
+        return updated[leaf_address][leaf_slot]

@@ -1,0 +1,148 @@
+"""Counter-cacheline packing and the split-counter compression model.
+
+Monolithic organisation (SGX, SGX_O, Synergy — Table II): a 64-byte counter
+line holds eight 56-bit write counters plus one 64-bit MAC, arranged so that
+chip ``i`` supplies counter ``i`` (7 bytes) and byte ``i`` of the MAC
+(Fig. 7a). A failing chip therefore corrupts exactly one counter and one MAC
+byte — the property Synergy's ParityC reconstruction relies on.
+
+Split organisation (Yan et al., evaluated in Fig. 13): one 64-bit major
+counter per page shared by 64 lines with 7-bit per-line minors. We model its
+functional effect (counter value = major << 7 | minor, minor overflow bumps
+major and re-encrypts the page) and, for the timing plane, its 8x better
+counter-line coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ecc.parity import xor_parity
+from repro.util.units import CACHELINE_BYTES
+
+COUNTERS_PER_LINE = 8
+COUNTER_BITS = 56
+COUNTER_BYTES = COUNTER_BITS // 8
+MAC_BYTES = 8
+COUNTER_LIMIT = 1 << COUNTER_BITS
+
+
+def pack_counter_payload(counters: Sequence[int]) -> bytes:
+    """Serialise the eight 56-bit counters (the MAC'd payload, 56 bytes)."""
+    if len(counters) != COUNTERS_PER_LINE:
+        raise ValueError("expected %d counters" % COUNTERS_PER_LINE)
+    payload = bytearray()
+    for counter in counters:
+        if not 0 <= counter < COUNTER_LIMIT:
+            raise ValueError("counter exceeds 56 bits")
+        payload.extend(counter.to_bytes(COUNTER_BYTES, "big"))
+    return bytes(payload)
+
+
+def counter_line_lanes(counters: Sequence[int], mac: bytes) -> List[bytes]:
+    """Pack counters + MAC into the eight data-chip lanes (chip-aligned).
+
+    Lane ``i`` = counter ``i`` (7 bytes) || MAC byte ``i``. The ninth (ECC
+    chip) lane is design-dependent — ParityC under Synergy, SECDED bytes in
+    the baseline — and is appended by the caller.
+    """
+    if len(mac) != MAC_BYTES:
+        raise ValueError("MAC must be %d bytes" % MAC_BYTES)
+    if len(counters) != COUNTERS_PER_LINE:
+        raise ValueError("expected %d counters" % COUNTERS_PER_LINE)
+    lanes = []
+    for index, counter in enumerate(counters):
+        if not 0 <= counter < COUNTER_LIMIT:
+            raise ValueError("counter exceeds 56 bits")
+        lanes.append(counter.to_bytes(COUNTER_BYTES, "big") + mac[index : index + 1])
+    return lanes
+
+
+def unpack_counter_lanes(lanes: Sequence[bytes]) -> Tuple[List[int], bytes]:
+    """Inverse of :func:`counter_line_lanes` for the eight data-chip lanes."""
+    if len(lanes) != COUNTERS_PER_LINE:
+        raise ValueError("expected %d data-chip lanes" % COUNTERS_PER_LINE)
+    counters = []
+    mac = bytearray()
+    for lane in lanes:
+        if len(lane) != COUNTER_BYTES + 1:
+            raise ValueError("counter lanes are 8 bytes")
+        counters.append(int.from_bytes(lane[:COUNTER_BYTES], "big"))
+        mac.append(lane[COUNTER_BYTES])
+    return counters, bytes(mac)
+
+
+def counter_parity(lanes: Sequence[bytes]) -> bytes:
+    """ParityC / ParityT: XOR of the eight counter-carrying chip lanes."""
+    if len(lanes) != COUNTERS_PER_LINE:
+        raise ValueError("ParityC covers the 8 data chips")
+    return xor_parity(list(lanes))
+
+
+def counter_line_payload_bytes(counters: Sequence[int], mac: bytes) -> bytes:
+    """The 64-byte view of a counter line (counters then MAC)."""
+    payload = pack_counter_payload(counters) + bytes(mac)
+    if len(payload) != CACHELINE_BYTES:
+        raise AssertionError("counter line must be 64 bytes")
+    return payload
+
+
+@dataclass(frozen=True)
+class SplitCounterConfig:
+    """Parameters of the split-counter organisation (Fig. 13 sensitivity).
+
+    ``lines_per_major`` lines share one major counter; each line keeps a
+    ``minor_bits``-wide minor. One 64-byte counter line then covers
+    ``lines_per_major`` data lines instead of 8 — the timing plane uses
+    ``coverage`` to size counter-region footprints and cacheability.
+    """
+
+    major_bits: int = 64
+    minor_bits: int = 7
+    lines_per_major: int = 64
+
+    @property
+    def coverage(self) -> int:
+        """Data lines covered by one 64-byte counter line."""
+        return self.lines_per_major
+
+    @property
+    def minor_limit(self) -> int:
+        """Writes before a minor overflows and forces a page re-encryption."""
+        return 1 << self.minor_bits
+
+
+class SplitCounterPage:
+    """Functional split-counter state for one page of lines.
+
+    Tracks a shared major and per-line minors; ``bump`` returns the effective
+    counter value for encryption plus the set of lines that must be
+    re-encrypted when a minor overflow rolls the major forward.
+    """
+
+    def __init__(self, config: SplitCounterConfig = SplitCounterConfig()):
+        self.config = config
+        self.major = 0
+        self.minors = [0] * config.lines_per_major
+
+    def value(self, line_index: int) -> int:
+        """Effective counter for ``line_index`` (major||minor)."""
+        return (self.major << self.config.minor_bits) | self.minors[line_index]
+
+    def bump(self, line_index: int) -> Tuple[int, List[int]]:
+        """Increment the line's counter; returns (new value, lines to re-encrypt).
+
+        On minor overflow the major increments, every minor resets, and all
+        other lines of the page must be re-encrypted under their new
+        effective counters (the well-known split-counter write amplification).
+        """
+        if not 0 <= line_index < self.config.lines_per_major:
+            raise ValueError("line_index out of page")
+        self.minors[line_index] += 1
+        if self.minors[line_index] < self.config.minor_limit:
+            return self.value(line_index), []
+        self.major += 1
+        self.minors = [0] * self.config.lines_per_major
+        others = [i for i in range(self.config.lines_per_major) if i != line_index]
+        return self.value(line_index), others

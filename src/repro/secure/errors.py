@@ -1,0 +1,33 @@
+"""Exception hierarchy for the secure-memory planes."""
+
+from __future__ import annotations
+
+
+class SecureMemoryError(Exception):
+    """Base class for secure-memory failures."""
+
+
+class AttackDetected(SecureMemoryError):
+    """Integrity verification failed and no correction hypothesis resolved it.
+
+    Raised for genuine tampering *and* for detected-uncorrectable errors:
+    per Section III-B the system cannot distinguish the two, and declaring an
+    attack is the only response that preserves security.
+    """
+
+    def __init__(self, message: str, line_address: int = -1):
+        super().__init__(message)
+        self.line_address = line_address
+
+
+class UncorrectableError(SecureMemoryError):
+    """A reliability code detected an error it cannot correct.
+
+    In the baseline (SECDED) designs this is surfaced when a multi-bit error
+    defeats the code; the enclosing secure layer then escalates to
+    :class:`AttackDetected` because a MAC mismatch follows.
+    """
+
+    def __init__(self, message: str, line_address: int = -1):
+        super().__init__(message)
+        self.line_address = line_address

@@ -1,0 +1,438 @@
+"""Per-design metadata traffic expansion (the timing-plane secure engine).
+
+For every LLC data miss or writeback, the engine consults the design
+descriptor and the cache hierarchy and emits the memory requests the design
+would need: counter fetches with a tree walk, MAC fetches (or none, for
+Synergy), parity updates, plus writebacks of evicted dirty metadata. The
+read path returns the set of requests whose completion gates the data
+(verification needs data + counter chain + MAC).
+
+This is where the paper's central performance claim becomes mechanical:
+SGX_O pays a MAC access per data access; Synergy does not, because the MAC
+rides the ECC chip. Everything else (counter caching in LLC, tree walks,
+split counters, IVEC's MAC tree, LOT-ECC parity RMW) is configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.dram.controller import MemoryController, Request, RequestKind
+from repro.secure.designs import (
+    CounterMode,
+    MacLocation,
+    SecureDesign,
+    TreeKind,
+)
+from repro.util.stats import StatGroup
+
+#: Tree fan-out (counters per line for monolithic; tags per line for MAC tree).
+TREE_ARITY = 8
+#: Data lines covered per counter line.
+MONOLITHIC_COVERAGE = 8
+SPLIT_COVERAGE = 64
+#: Data lines covered per MAC line / parity line.
+MAC_COVERAGE = 8
+PARITY_COVERAGE = 8
+
+
+class TimingMetadataMap:
+    """Metadata line addresses for the timing plane.
+
+    Regions are laid out above the data region in a flat line-address space;
+    the DRAM address mapper interleaves them over channels/banks like any
+    other lines (metadata shares the memory system with data, as in the
+    paper's organisation).
+    """
+
+    def __init__(self, num_data_lines: int, counter_mode: CounterMode):
+        self.num_data_lines = num_data_lines
+        self.counter_coverage = (
+            SPLIT_COVERAGE if counter_mode is CounterMode.SPLIT else MONOLITHIC_COVERAGE
+        )
+        cursor = num_data_lines
+
+        self.counter_base = cursor
+        self.num_counter_lines = -(-num_data_lines // self.counter_coverage)
+        cursor += self.num_counter_lines
+
+        self.mac_base = cursor
+        self.num_mac_lines = -(-num_data_lines // MAC_COVERAGE)
+        cursor += self.num_mac_lines
+
+        self.parity_base = cursor
+        self.num_parity_lines = -(-num_data_lines // PARITY_COVERAGE)
+        cursor += self.num_parity_lines
+
+        # Tree levels above the counter lines (Bonsai) — also reused as the
+        # MAC-tree levels above MAC lines (IVEC), sized for whichever is
+        # larger so one region serves both.
+        leaves = max(self.num_counter_lines, self.num_mac_lines)
+        self.tree_level_bases: List[int] = []
+        self.tree_level_sizes: List[int] = []
+        size = -(-leaves // TREE_ARITY)
+        while True:
+            self.tree_level_bases.append(cursor)
+            self.tree_level_sizes.append(size)
+            cursor += size
+            if size == 1:
+                break
+            size = -(-size // TREE_ARITY)
+        self.total_lines = cursor
+
+    def counter_line(self, data_line: int) -> int:
+        """Counter line covering a data line."""
+        return self.counter_base + data_line // self.counter_coverage
+
+    def mac_line(self, data_line: int) -> int:
+        """MAC line covering a data line (separate-MAC designs)."""
+        return self.mac_base + data_line // MAC_COVERAGE
+
+    def parity_line(self, data_line: int) -> int:
+        """Parity line covering a data line (Synergy / LOT-ECC tier 2)."""
+        return self.parity_base + data_line // PARITY_COVERAGE
+
+    def tree_path_from_counter(self, counter_line: int) -> List[int]:
+        """Tree line addresses from just above a counter line to the root."""
+        index = counter_line - self.counter_base
+        return self._tree_path(index)
+
+    def tree_path_from_mac(self, mac_line: int) -> List[int]:
+        """MAC-tree line addresses from just above a MAC line to the root."""
+        index = mac_line - self.mac_base
+        return self._tree_path(index)
+
+    def _tree_path(self, leaf_index: int) -> List[int]:
+        path = []
+        index = leaf_index
+        for base, size in zip(self.tree_level_bases, self.tree_level_sizes):
+            index //= TREE_ARITY
+            path.append(base + min(index, size - 1))
+        return path
+
+
+@dataclass
+class ExpandedAccess:
+    """Requests generated for one data access.
+
+    ``blocking`` requests gate the read's completion (data + verification
+    metadata); ``posted`` requests only consume bandwidth. Invariant:
+    ``blocking[0]`` is always the data line itself — speculative designs
+    (§VII-B) complete on it alone.
+    """
+
+    blocking: List[Request] = field(default_factory=list)
+    posted: List[Request] = field(default_factory=list)
+
+
+class SecureTimingEngine:
+    """Expands data accesses into design-specific memory traffic."""
+
+    def __init__(
+        self,
+        design: SecureDesign,
+        hierarchy: CacheHierarchy,
+        controller: MemoryController,
+        num_data_lines: int = 1 << 24,
+    ):
+        self.design = design
+        self.hierarchy = hierarchy
+        self.controller = controller
+        self.map = TimingMetadataMap(num_data_lines, design.counter_mode)
+        self.stats = StatGroup("secure_engine_%s" % design.name)
+        from collections import deque
+
+        self._writeback_queue = deque()
+        self._draining_writebacks = False
+        self._in_writeback_path = False
+
+    # ------------------------------------------------------------------
+
+    def _classify_writeback(self, line_address: int) -> str:
+        """Traffic category of an evicted line by its region."""
+        map_ = self.map
+        if line_address < map_.counter_base:
+            return "data"
+        if line_address < map_.mac_base:
+            return "counter"
+        if line_address < map_.parity_base:
+            return "mac"
+        if line_address < map_.tree_level_bases[0]:
+            return "parity"
+        return "counter"  # tree lines group with counters (Fig. 9)
+
+    @property
+    def _origin(self) -> str:
+        """Whether traffic being emitted serves a demand read or a writeback.
+
+        The paper's Fig. 9 splits traffic by what *triggered* it (the reads
+        chart vs the writes chart), not by the physical direction — e.g. the
+        read half of a counter RMW on the write path belongs to the writes
+        chart. The engine tracks the trigger here.
+        """
+        return "writeback" if self._in_writeback_path else "demand"
+
+    def _account(self, category: str, kind: RequestKind) -> None:
+        self.stats.counter(
+            "%s_%s_%s" % (self._origin, category, kind.value)
+        ).add()
+
+    def _emit_read(
+        self, out: ExpandedAccess, line: int, when: int, category: str, core: int
+    ) -> None:
+        self._account(category, RequestKind.READ)
+        out.blocking.append(
+            self.controller.enqueue(RequestKind.READ, line, when, category, core)
+        )
+
+    def _emit_rmw_read(self, line: int, when: int, category: str, core: int) -> None:
+        """A posted read (RMW fetch) that gates nothing."""
+        self._account(category, RequestKind.READ)
+        self.controller.enqueue(RequestKind.READ, line, when, category, core)
+
+    def _emit_write(self, line: int, when: int, category: str, core: int) -> None:
+        self._account(category, RequestKind.WRITE)
+        self.controller.enqueue(RequestKind.WRITE, line, when, category, core)
+
+    def writeback(self, victim: Optional[int], when: int, core: int) -> None:
+        """Handle an evicted dirty line of *any* region.
+
+        Metadata victims are plain memory writes; data victims need the full
+        write-side metadata expansion (counter bump, MAC/parity update).
+        Eviction chains (a data writeback dirties a counter line whose fill
+        evicts another data line, ...) are drained iteratively.
+        """
+        if victim is None:
+            return
+        self._writeback_queue.append(victim)
+        if self._draining_writebacks:
+            return
+        self._draining_writebacks = True
+        try:
+            while self._writeback_queue:
+                line = self._writeback_queue.popleft()
+                if line < self.map.counter_base:
+                    self.expand_data_writeback(line, when, core)
+                else:
+                    self._emit_write(
+                        line, when, self._classify_writeback(line), core
+                    )
+        finally:
+            self._draining_writebacks = False
+
+    # Backwards-compatible internal alias used by the fetch/update paths.
+    def _handle_writeback(self, victim: Optional[int], when: int, core: int) -> None:
+        self.writeback(victim, when, core)
+
+    # ------------------------------------------------------------------
+    # Cache warmup (no DRAM traffic)
+    # ------------------------------------------------------------------
+
+    def warm_data_access(self, data_line: int, is_write: bool) -> None:
+        """Replay one access through the caches without any memory traffic.
+
+        Used to reach cache steady state before timing measurement — the
+        paper's 1B-instruction slices run with warm caches; short synthetic
+        traces must not measure an LLC that never filled (see DESIGN.md).
+        """
+        design = self.design
+        result = self.hierarchy.access_data(data_line, is_write)
+        if result.hit or not design.encrypted:
+            return
+        counter_line = self.map.counter_line(data_line)
+        chain = self.hierarchy.access_metadata(
+            counter_line, is_write=is_write, use_llc=design.counters_in_llc
+        )
+        if not chain.hit and design.tree_kind is TreeKind.BONSAI_COUNTER:
+            for tree_line in self.map.tree_path_from_counter(counter_line):
+                node = self.hierarchy.access_metadata(
+                    tree_line, is_write=is_write, use_llc=design.counters_in_llc
+                )
+                if node.hit:
+                    break
+        if design.mac_location is MacLocation.SEPARATE:
+            mac_line = self.map.mac_line(data_line)
+            walk_tree = design.tree_kind is TreeKind.MAC_TREE
+            if design.macs_cached:
+                mac = self.hierarchy.access_metadata(
+                    mac_line, is_write=is_write, use_llc=design.macs_in_llc
+                )
+                walk_tree = walk_tree and not mac.hit
+            elif design.macs_in_llc:
+                self.hierarchy.llc.fill(mac_line)
+            if walk_tree:
+                for tree_line in self.map.tree_path_from_mac(mac_line):
+                    node = self.hierarchy.access_metadata(
+                        tree_line, is_write=is_write, use_llc=design.macs_in_llc
+                    )
+                    if node.hit:
+                        break
+
+    # ------------------------------------------------------------------
+    # Read path (LLC data miss)
+    # ------------------------------------------------------------------
+
+    def expand_read_miss(self, data_line: int, when: int, core: int) -> ExpandedAccess:
+        """Generate the memory traffic for one LLC read miss."""
+        design = self.design
+        out = ExpandedAccess()
+        self._emit_read(out, data_line, when, "data", core)
+        if design.encrypted:
+            self._fetch_counter_chain(out, data_line, when, core)
+            if design.mac_location is MacLocation.SEPARATE:
+                self._fetch_mac(out, data_line, when, core)
+        return out
+
+    def _fetch_counter_chain(
+        self, out: ExpandedAccess, data_line: int, when: int, core: int
+    ) -> None:
+        design = self.design
+        counter_line = self.map.counter_line(data_line)
+        result = self.hierarchy.access_metadata(
+            counter_line, is_write=False, use_llc=design.counters_in_llc
+        )
+        self._handle_writeback(result.writeback_address, when, core)
+        if result.hit:
+            self.stats.counter("counter_hits").add()
+            return
+        self._emit_read(out, counter_line, when, "counter", core)
+        if design.tree_kind is not TreeKind.BONSAI_COUNTER:
+            return
+        # Walk the counter tree until a cached level (trust anchor).
+        for tree_line in self.map.tree_path_from_counter(counter_line):
+            node = self.hierarchy.access_metadata(
+                tree_line, is_write=False, use_llc=design.counters_in_llc
+            )
+            self._handle_writeback(node.writeback_address, when, core)
+            if node.hit:
+                break
+            self._emit_read(out, tree_line, when, "counter", core)
+
+    def _fetch_mac(
+        self, out: ExpandedAccess, data_line: int, when: int, core: int
+    ) -> None:
+        design = self.design
+        mac_line = self.map.mac_line(data_line)
+        if not design.macs_cached:
+            # Table II: SGX/SGX_O cache MACs nowhere — every data access
+            # pays a MAC memory access (the traffic Synergy eliminates).
+            # IVEC additionally *stores* its (untrusted) MACs in the LLC,
+            # displacing data without eliding the fetch (design note in
+            # repro.secure.designs.IVEC).
+            self._emit_read(out, mac_line, when, "mac", core)
+            if design.macs_in_llc:
+                self._handle_writeback(self.hierarchy.llc.fill(mac_line), when, core)
+            self._walk_mac_tree_read(out, mac_line, when, core)
+            return
+        result = self.hierarchy.access_metadata(
+            mac_line, is_write=False, use_llc=design.macs_in_llc
+        )
+        self._handle_writeback(result.writeback_address, when, core)
+        if result.hit:
+            self.stats.counter("mac_hits").add()
+            return
+        self._emit_read(out, mac_line, when, "mac", core)
+        self._walk_mac_tree_read(out, mac_line, when, core)
+
+    def _walk_mac_tree_read(
+        self, out: ExpandedAccess, mac_line: int, when: int, core: int
+    ) -> None:
+        """IVEC read path: the MAC is a tree member — walk the MAC tree."""
+        design = self.design
+        if design.tree_kind is not TreeKind.MAC_TREE:
+            return
+        for tree_line in self.map.tree_path_from_mac(mac_line):
+            node = self.hierarchy.access_metadata(
+                tree_line, is_write=False, use_llc=design.macs_in_llc
+            )
+            self._handle_writeback(node.writeback_address, when, core)
+            if node.hit:
+                break
+            self._emit_read(out, tree_line, when, "mac", core)
+
+    # ------------------------------------------------------------------
+    # Write path (LLC dirty-data eviction = memory write)
+    # ------------------------------------------------------------------
+
+    def expand_data_writeback(self, data_line: int, when: int, core: int) -> None:
+        """Generate the (posted) traffic for one data writeback."""
+        design = self.design
+        was_writeback = self._in_writeback_path
+        self._in_writeback_path = True
+        try:
+            self._expand_data_writeback(data_line, when, core)
+        finally:
+            self._in_writeback_path = was_writeback
+
+    def _expand_data_writeback(self, data_line: int, when: int, core: int) -> None:
+        design = self.design
+        self._emit_write(data_line, when, "data", core)
+        if design.encrypted:
+            self._update_counter_chain(data_line, when, core)
+            if design.mac_location is MacLocation.SEPARATE:
+                self._update_mac(data_line, when, core)
+        if design.parity_write_on_data_write:
+            # Synergy: the parity region sees one write per data write;
+            # the new parity is computed from the written line itself so no
+            # read is needed (ParityP updated via DIMM-internal masking).
+            self._emit_write(self.map.parity_line(data_line), when, "parity", core)
+        if design.lotecc_parity_rmw:
+            parity_line = self.map.parity_line(data_line)
+            if not design.lotecc_write_coalescing:
+                # Tier-2 parity needs old contents: read-modify-write.
+                self._emit_rmw_read(parity_line, when, "parity", core)
+            self._emit_write(parity_line, when, "parity", core)
+
+    def _update_counter_chain(self, data_line: int, when: int, core: int) -> None:
+        design = self.design
+        counter_line = self.map.counter_line(data_line)
+        result = self.hierarchy.access_metadata(
+            counter_line, is_write=True, use_llc=design.counters_in_llc
+        )
+        self._handle_writeback(result.writeback_address, when, core)
+        if not result.hit:
+            # RMW: must fetch the counter line before bumping it.
+            self._emit_rmw_read(counter_line, when, "counter", core)
+        if design.tree_kind is not TreeKind.BONSAI_COUNTER:
+            return
+        # Updates dirty *every* level up to the root (each level's counter
+        # increments); cached levels cost no traffic but uncached ones must
+        # be fetched for the read-modify-write.
+        for tree_line in self.map.tree_path_from_counter(counter_line):
+            node = self.hierarchy.access_metadata(
+                tree_line, is_write=True, use_llc=design.counters_in_llc
+            )
+            self._handle_writeback(node.writeback_address, when, core)
+            if not node.hit:
+                self._emit_rmw_read(tree_line, when, "counter", core)
+
+    def _update_mac(self, data_line: int, when: int, core: int) -> None:
+        design = self.design
+        mac_line = self.map.mac_line(data_line)
+        if not design.macs_cached:
+            # Uncached MAC update: one (masked) memory write per data write.
+            self._emit_write(mac_line, when, "mac", core)
+            if design.macs_in_llc:
+                self._handle_writeback(self.hierarchy.llc.fill(mac_line), when, core)
+            if design.tree_kind is not TreeKind.MAC_TREE:
+                return
+        else:
+            result = self.hierarchy.access_metadata(
+                mac_line, is_write=True, use_llc=design.macs_in_llc
+            )
+            self._handle_writeback(result.writeback_address, when, core)
+            if not result.hit:
+                self._emit_rmw_read(mac_line, when, "mac", core)
+        if design.tree_kind is TreeKind.MAC_TREE:
+            # A Merkle tree of MACs must re-hash every level to the root on
+            # each update — the write-amplification that makes the
+            # non-Bonsai structure expensive (§VII-A1).
+            for tree_line in self.map.tree_path_from_mac(mac_line):
+                node = self.hierarchy.access_metadata(
+                    tree_line, is_write=True, use_llc=design.macs_in_llc
+                )
+                self._handle_writeback(node.writeback_address, when, core)
+                if not node.hit:
+                    self._emit_rmw_read(tree_line, when, "mac", core)

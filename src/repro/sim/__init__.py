@@ -1,0 +1,22 @@
+"""Full-system performance simulation.
+
+* :mod:`repro.sim.config` — the Table III system configuration.
+* :mod:`repro.sim.system` — cores + LLC + secure engine + DRAM, wired
+  through the blocking-point co-simulation protocol.
+* :mod:`repro.sim.energy` — system power/energy/EDP model (Fig. 10).
+* :mod:`repro.sim.results` — per-run result records and normalisation.
+* :mod:`repro.sim.runner` — run design x workload grids for the harness.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import run_workload, run_suite
+from repro.sim.system import SystemSimulator
+
+__all__ = [
+    "SystemConfig",
+    "RunResult",
+    "run_workload",
+    "run_suite",
+    "SystemSimulator",
+]

@@ -1,0 +1,103 @@
+"""Result records for design x workload runs, plus normalisation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.util.units import gmean
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (design, workload) simulation."""
+
+    design: str
+    workload: str
+    ipc: float
+    cpu_cycles: float
+    instructions: int
+    traffic: Dict[str, int] = field(default_factory=dict)
+    #: engine-side accounting keyed '<demand|writeback>_<category>_<kind>'
+    #: (Fig. 9 splits traffic by what *triggered* it)
+    origin_traffic: Dict[str, float] = field(default_factory=dict)
+    energy_j: float = 0.0
+    power_w: float = 0.0
+    edp: float = 0.0
+    llc_hit_rate: float = 0.0
+    metadata_hit_rate: float = 0.0
+
+    def traffic_per_kilo_instruction(self) -> Dict[str, float]:
+        """Accesses per 1000 instructions by category."""
+        if not self.instructions:
+            return {}
+        return {
+            key: 1000.0 * value / self.instructions
+            for key, value in self.traffic.items()
+        }
+
+    def origin_traffic_per_kilo_instruction(self) -> Dict[str, float]:
+        """Trigger-attributed accesses per 1000 instructions (Fig. 9 axes)."""
+        if not self.instructions:
+            return {}
+        return {
+            key: 1000.0 * value / self.instructions
+            for key, value in self.origin_traffic.items()
+        }
+
+    @property
+    def total_accesses(self) -> int:
+        """Total memory accesses."""
+        return sum(self.traffic.values())
+
+
+class ResultTable:
+    """A collection of results with speedup/normalisation queries."""
+
+    def __init__(self, results: Iterable[RunResult] = ()):
+        self.results: List[RunResult] = list(results)
+
+    def add(self, result: RunResult) -> None:
+        """Append one result."""
+        self.results.append(result)
+
+    def get(self, design: str, workload: str) -> RunResult:
+        """Fetch one result; raises KeyError if absent."""
+        for result in self.results:
+            if result.design == design and result.workload == workload:
+                return result
+        raise KeyError("no result for (%s, %s)" % (design, workload))
+
+    def workloads(self) -> List[str]:
+        """Distinct workloads in insertion order."""
+        seen: List[str] = []
+        for result in self.results:
+            if result.workload not in seen:
+                seen.append(result.workload)
+        return seen
+
+    def designs(self) -> List[str]:
+        """Distinct designs in insertion order."""
+        seen: List[str] = []
+        for result in self.results:
+            if result.design not in seen:
+                seen.append(result.design)
+        return seen
+
+    def speedup(self, design: str, baseline: str, workload: str) -> float:
+        """IPC of ``design`` over ``baseline`` for one workload."""
+        return self.get(design, workload).ipc / self.get(baseline, workload).ipc
+
+    def gmean_speedup(self, design: str, baseline: str) -> float:
+        """Geometric-mean speedup across all workloads (paper's summary)."""
+        return gmean(
+            self.speedup(design, baseline, workload)
+            for workload in self.workloads()
+        )
+
+    def gmean_edp_ratio(self, design: str, baseline: str) -> float:
+        """Geometric-mean EDP ratio across workloads."""
+        return gmean(
+            self.get(design, w).edp / self.get(baseline, w).edp
+            for w in self.workloads()
+        )

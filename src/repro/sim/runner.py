@@ -1,0 +1,90 @@
+"""Run design x workload grids and collect results for the harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.secure.designs import SecureDesign
+from repro.sim.config import SystemConfig
+from repro.sim.energy import SystemEnergyParams, system_energy
+from repro.sim.results import ResultTable, RunResult
+from repro.sim.system import SystemSimulator
+from repro.workloads.generator import generate_trace
+from repro.workloads.mixes import MIXES
+from repro.workloads.profiles import WorkloadProfile, profile_by_name
+
+
+def _traces_for(
+    workload: Union[str, WorkloadProfile],
+    config: SystemConfig,
+    seed_salt: object = "trace",
+):
+    """Per-core traces: rate mode for a profile, one-each for a mix name."""
+    if isinstance(workload, str) and workload in MIXES:
+        names = MIXES[workload]
+        profiles = [profile_by_name(name) for name in names]
+        label = workload
+    else:
+        profile = (
+            profile_by_name(workload) if isinstance(workload, str) else workload
+        )
+        profiles = [profile] * config.num_cores
+        label = profile.name
+    traces = [
+        generate_trace(
+            profiles[core],
+            config.accesses_per_core,
+            core_id=core,
+            base_line=core * config.lines_per_core,
+            seed_salt=seed_salt,
+            scale_divisor=config.cache_scale,
+        )
+        for core in range(config.num_cores)
+    ]
+    return label, traces
+
+
+def run_workload(
+    design: SecureDesign,
+    workload: Union[str, WorkloadProfile],
+    config: SystemConfig = SystemConfig(),
+    energy_params: Optional[SystemEnergyParams] = None,
+) -> RunResult:
+    """Simulate one (design, workload) pair and package the result."""
+    label, traces = _traces_for(workload, config)
+    _label, warmup_traces = _traces_for(workload, config, seed_salt="warmup")
+    sim = SystemSimulator(design, traces, config).run(warmup_traces)
+    energy = system_energy(sim, energy_params or SystemEnergyParams())
+    return RunResult(
+        design=design.name,
+        workload=label,
+        ipc=sim.ipc,
+        cpu_cycles=sim.cpu_cycles,
+        instructions=sim.total_instructions,
+        traffic=sim.traffic(),
+        origin_traffic={
+            key: value
+            for key, value in sim.engine.stats.as_dict().items()
+            if key.startswith(("demand_", "writeback_"))
+        },
+        energy_j=energy.total_j,
+        power_w=energy.average_power_w,
+        edp=energy.edp,
+        llc_hit_rate=sim.hierarchy.llc.hit_rate,
+        metadata_hit_rate=sim.hierarchy.metadata_cache.hit_rate,
+    )
+
+
+def run_suite(
+    designs: Iterable[SecureDesign],
+    workloads: Iterable[Union[str, WorkloadProfile]],
+    config: SystemConfig = SystemConfig(),
+    energy_params: Optional[SystemEnergyParams] = None,
+) -> ResultTable:
+    """Run every design on every workload."""
+    table = ResultTable()
+    workloads = list(workloads)
+    for design in designs:
+        for workload in workloads:
+            table.add(run_workload(design, workload, config, energy_params))
+    return table

@@ -1,0 +1,176 @@
+"""The full-system simulator: cores -> LLC -> secure engine -> DRAM.
+
+Data reads look up the shared LLC; misses go through the secure timing
+engine, which adds the design's metadata traffic. A read completes when the
+data *and* all verification metadata have returned, plus a fixed
+verification latency. Data writes allocate dirty in the LLC (write-validate,
+no fetch); dirty evictions become memory writes with their own metadata
+traffic — writes never block the cores.
+
+Time units: cores run in CPU cycles (floats), the controller in memory
+cycles; ``cpu_clock_multiplier`` converts at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.multicore import MulticoreDriver
+from repro.cpu.rob import AccessHandle, CoreModel
+from repro.cpu.trace import Trace
+from repro.dram.controller import MemoryController, Request
+from repro.secure.designs import SecureDesign
+from repro.secure.timing_engine import SecureTimingEngine
+from repro.sim.config import SystemConfig
+from repro.util.stats import StatGroup
+
+
+class SystemSimulator:
+    """One design running one set of per-core traces to completion."""
+
+    def __init__(
+        self,
+        design: SecureDesign,
+        traces: List[Trace],
+        config: SystemConfig = SystemConfig(),
+    ):
+        if not traces:
+            raise ValueError("need at least one trace")
+        self.design = design
+        self.config = config
+        memory_config = config.memory
+        if design.chipkill_lockstep:
+            # Lock-step pairs of channels (Fig. 1b): every access occupies
+            # two physical channels, so the system behaves like one with
+            # half the channels for scheduling purposes.
+            from dataclasses import replace as _replace
+
+            memory_config = _replace(
+                memory_config, channels=max(1, memory_config.channels // 2)
+            )
+        self.controller = MemoryController(memory_config)
+        self.hierarchy = CacheHierarchy(config.scaled_caches())
+        self.engine = SecureTimingEngine(
+            design, self.hierarchy, self.controller, config.num_data_lines
+        )
+        self.stats = StatGroup("system")
+        self._traces = list(traces)
+        self._unresolved: List[Tuple[AccessHandle, List[Request], float]] = []
+        self.cores = [
+            CoreModel(core_id, trace, self._read, self._write, config.core)
+            for core_id, trace in enumerate(traces)
+        ]
+        self.driver = MulticoreDriver(self.cores, self._resolve)
+        self._mult = config.memory.cpu_clock_multiplier
+
+    # ------------------------------------------------------------------
+    # Core-facing memory interface
+    # ------------------------------------------------------------------
+
+    def _read(self, line_address: int, cpu_time: float, core: int) -> AccessHandle:
+        self.stats.counter("data_reads").add()
+        result = self.hierarchy.access_data(line_address, is_write=False)
+        if result.hit:
+            self.stats.counter("llc_hits").add()
+            return AccessHandle(cpu_time + self.config.llc_latency_cpu)
+        self.stats.counter("llc_misses").add()
+        mem_time = int(cpu_time // self._mult)
+        self.engine.writeback(result.writeback_address, mem_time, core)
+        expanded = self.engine.expand_read_miss(line_address, mem_time, core)
+        handle = AccessHandle(None)
+        self._unresolved.append((handle, expanded.blocking, cpu_time))
+        return handle
+
+    def _write(self, line_address: int, cpu_time: float, core: int) -> None:
+        self.stats.counter("data_writes").add()
+        result = self.hierarchy.access_data(line_address, is_write=True)
+        if not result.hit:
+            mem_time = int(cpu_time // self._mult)
+            self.engine.writeback(result.writeback_address, mem_time, core)
+        # Write-validate allocation: the store itself needs no memory fetch.
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self) -> None:
+        """Schedule all pending DRAM work and fill in handle completions."""
+        self.controller.process()
+        verify = (
+            self.config.verify_latency_cpu if self.design.encrypted else 0
+        )
+        if self.design.serial_tree_verification:
+            # Non-Bonsai Merkle tree: one serial hash per level up to the
+            # root before the data may be consumed (Fig. 16 mechanism).
+            verify *= 1 + len(self.engine.map.tree_level_sizes)
+        speculative = self.design.speculative_verification
+        for handle, requests, issue_cpu in self._unresolved:
+            if speculative:
+                # PoisonIvy-style: data usable on arrival; verification
+                # (and its metadata fetches) retire off the critical path.
+                last_mem = requests[0].completion
+                latency_tail = self.config.llc_latency_cpu
+            else:
+                last_mem = max(request.completion for request in requests)
+                latency_tail = self.config.llc_latency_cpu + verify
+            handle.completion_cpu = (
+                max(issue_cpu, last_mem * self._mult) + latency_tail
+            )
+        self._unresolved.clear()
+
+    # ------------------------------------------------------------------
+
+    def warmup(self, traces: List[Trace]) -> None:
+        """Replay warmup traces through the caches, then reset stats.
+
+        Warmup traces must share the measured traces' address distribution
+        but not their exact addresses (different seed salt), so the caches
+        reach steady-state occupancy without pre-loading the measured
+        accesses themselves.
+        """
+        from repro.cpu.trace import MemoryOp
+
+        for trace in traces:
+            for record in trace:
+                self.engine.warm_data_access(
+                    record.line_address, record.op is MemoryOp.WRITE
+                )
+        self.hierarchy.llc.reset_stats()
+        self.hierarchy.metadata_cache.reset_stats()
+        self.hierarchy.metadata_llc_fills = 0
+        self.hierarchy.data_llc_fills = 0
+
+    def run(self, warmup_traces: Optional[List[Trace]] = None) -> "SystemSimulator":
+        """Drive the simulation to completion; returns self for chaining."""
+        if self.config.warm_caches and warmup_traces:
+            self.warmup(warmup_traces)
+        self.driver.run()
+        self._resolve()  # flush any trailing posted writes
+        return self
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired across all cores."""
+        return self.driver.total_instructions
+
+    @property
+    def cpu_cycles(self) -> float:
+        """Wall-clock CPU cycles (slowest core's retirement)."""
+        return self.driver.finish_time_cpu
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per CPU cycle (the paper's metric)."""
+        cycles = self.cpu_cycles
+        return self.total_instructions / cycles if cycles else 0.0
+
+    def traffic(self) -> Dict[str, int]:
+        """Memory accesses keyed '<category>_<read|write>'."""
+        return self.controller.traffic_by_category()
+
+    def accesses_per_kilo_instruction(self) -> float:
+        """Total memory accesses per 1000 retired instructions."""
+        total = sum(self.traffic().values())
+        instructions = self.total_instructions
+        return 1000.0 * total / instructions if instructions else 0.0

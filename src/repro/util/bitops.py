@@ -1,0 +1,59 @@
+"""Bit- and byte-level manipulation helpers.
+
+The functional secure-memory plane works on real bytes (cachelines, MACs,
+parities); these helpers centralise the fiddly bit arithmetic so the domain
+modules read cleanly.
+"""
+
+from __future__ import annotations
+
+
+def bit_count(value: int) -> int:
+    """Return the number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("bit_count requires a non-negative integer")
+    return bin(value).count("1")
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` bits within a ``width``-bit word."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    amount %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << amount) | (value >> (width - amount))) & mask
+
+
+def extract_bits(value: int, offset: int, length: int) -> int:
+    """Extract ``length`` bits of ``value`` starting at bit ``offset`` (LSB=0)."""
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    return (value >> offset) & ((1 << length) - 1)
+
+
+def insert_bits(value: int, field: int, offset: int, length: int) -> int:
+    """Return ``value`` with ``length`` bits at ``offset`` replaced by ``field``."""
+    if field >= (1 << length):
+        raise ValueError("field does not fit in %d bits" % length)
+    mask = ((1 << length) - 1) << offset
+    return (value & ~mask) | ((field << offset) & mask)
+
+
+def bytes_xor(left: bytes, right: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(left) != len(right):
+        raise ValueError(
+            "bytes_xor length mismatch: %d vs %d" % (len(left), len(right))
+        )
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def int_to_bytes_be(value: int, length: int) -> bytes:
+    """Encode a non-negative integer as big-endian bytes of fixed length."""
+    return value.to_bytes(length, "big")
+
+
+def int_from_bytes_be(data: bytes) -> int:
+    """Decode big-endian bytes into a non-negative integer."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,185 @@
+"""Lightweight statistics infrastructure for the simulators.
+
+Simulator components register named counters and histograms in a
+:class:`StatGroup`; the harness then renders them uniformly. This mirrors the
+stat dump machinery of USIMM/gem5 at a much smaller scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("Counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset to zero."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class RatioStat:
+    """A numerator/denominator pair reported as a ratio (e.g. hit rate)."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.numerator = 0
+        self.denominator = 0
+
+    def record(self, hit: bool) -> None:
+        """Record one trial; ``hit`` increments the numerator."""
+        self.denominator += 1
+        if hit:
+            self.numerator += 1
+
+    @property
+    def ratio(self) -> float:
+        """Numerator over denominator, 0.0 when empty."""
+        if self.denominator == 0:
+            return 0.0
+        return self.numerator / self.denominator
+
+    def reset(self) -> None:
+        """Reset both fields."""
+        self.numerator = 0
+        self.denominator = 0
+
+    def __repr__(self) -> str:
+        return "RatioStat(%s=%.4f)" % (self.name, self.ratio)
+
+
+class Histogram:
+    """A sparse integer-keyed histogram (e.g. queue depths, latencies)."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._bins: Dict[int, int] = {}
+        self._count = 0
+        self._total = 0
+
+    def record(self, value: int, weight: int = 1) -> None:
+        """Add ``weight`` observations of ``value``."""
+        self._bins[value] = self._bins.get(value, 0) + weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations, 0.0 when empty."""
+        if self._count == 0:
+            return 0.0
+        return self._total / self._count
+
+    @property
+    def maximum(self) -> int:
+        """Largest observed value, 0 when empty."""
+        if not self._bins:
+            return 0
+        return max(self._bins)
+
+    def percentile(self, fraction: float) -> int:
+        """Value at the given cumulative fraction (0 < fraction <= 1)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self._count == 0:
+            return 0
+        threshold = fraction * self._count
+        running = 0
+        for value in sorted(self._bins):
+            running += self._bins[value]
+            if running >= threshold:
+                return value
+        return max(self._bins)
+
+    def items(self) -> List[Tuple[int, int]]:
+        """Sorted (value, count) pairs."""
+        return sorted(self._bins.items())
+
+    def reset(self) -> None:
+        """Clear all bins."""
+        self._bins.clear()
+        self._count = 0
+        self._total = 0
+
+
+class StatGroup:
+    """A named collection of counters/ratios/histograms.
+
+    Components create one group each; groups nest by name prefix only (flat
+    storage keeps rendering trivial).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Create (or fetch) a counter."""
+        return self._get_or_create(name, Counter, description)
+
+    def ratio(self, name: str, description: str = "") -> RatioStat:
+        """Create (or fetch) a ratio stat."""
+        return self._get_or_create(name, RatioStat, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        """Create (or fetch) a histogram."""
+        return self._get_or_create(name, Histogram, description)
+
+    def _get_or_create(self, name: str, factory, description: str):
+        existing = self._stats.get(name)
+        if existing is not None:
+            if not isinstance(existing, factory):
+                raise TypeError(
+                    "stat %s already registered with a different type" % name
+                )
+            return existing
+        stat = factory(name, description)
+        self._stats[name] = stat
+        return stat
+
+    def __iter__(self) -> Iterator[Tuple[str, object]]:
+        return iter(sorted(self._stats.items()))
+
+    def __getitem__(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def reset(self) -> None:
+        """Reset every stat in the group."""
+        for stat in self._stats.values():
+            stat.reset()  # type: ignore[attr-defined]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to name -> scalar (counters: value; ratios: ratio; histos: mean)."""
+        flat: Dict[str, float] = {}
+        for name, stat in self:
+            if isinstance(stat, Counter):
+                flat[name] = float(stat.value)
+            elif isinstance(stat, RatioStat):
+                flat[name] = stat.ratio
+            elif isinstance(stat, Histogram):
+                flat[name] = stat.mean
+        return flat

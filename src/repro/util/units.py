@@ -1,0 +1,41 @@
+"""Common unit constants and small numeric helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cacheline size used throughout the paper and this reproduction.
+CACHELINE_BYTES = 64
+
+#: Hours in a (365-day) year; FIT arithmetic in the reliability model.
+HOURS_PER_YEAR = 24 * 365
+
+#: Failures-In-Time are failures per billion device-hours.
+FIT_HOURS = 1e9
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Integer log2 of an exact power of two; raises otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError("%r is not a power of two" % (value,))
+    return value.bit_length() - 1
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper reports gmean speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("gmean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,36 @@
+"""Synthetic workloads standing in for the paper's SPEC2006 + GAP traces.
+
+The paper evaluates 23 memory-intensive SPEC2006 workloads, 6 GAP graph
+kernels (PageRank / Connected Components / Betweenness Centrality on the
+Twitter and Web datasets), and 6 four-way mixes, each as a 1B-instruction
+PinPoint slice run in rate mode on 4 cores.
+
+We cannot ship those traces, so :mod:`repro.workloads.generator` synthesises
+traces from per-workload *profiles* (:mod:`repro.workloads.profiles`) that
+encode the statistics the performance results actually depend on: memory
+intensity (accesses per kilo-instruction), read/write mix, footprint, and a
+locality mixture (sequential streams / hot reuse set / uniform random).
+Generation is deterministic given (workload, core, scale).
+"""
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import (
+    WorkloadProfile,
+    ALL_WORKLOADS,
+    GAP_WORKLOADS,
+    SPEC_WORKLOADS,
+    profile_by_name,
+)
+from repro.workloads.mixes import MIXES
+from repro.workloads.suites import workload_suite
+
+__all__ = [
+    "generate_trace",
+    "WorkloadProfile",
+    "ALL_WORKLOADS",
+    "GAP_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "MIXES",
+    "profile_by_name",
+    "workload_suite",
+]

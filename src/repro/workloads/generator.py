@@ -1,0 +1,146 @@
+"""Deterministic synthetic trace generation from workload profiles.
+
+Address streams come from a three-way locality mixture:
+
+* **sequential** — a handful of stride-1 stream pointers walking the
+  footprint (models the streaming loops of lbm/libquantum/bwaves; produces
+  DRAM row-buffer hits and LLC misses);
+* **hot** — uniform draws from a small reuse set (models LLC-resident
+  structures; produces LLC hits);
+* **random** — uniform draws over the whole footprint (models
+  pointer-chasing of mcf/omnetpp/graph kernels; produces LLC *and*
+  row-buffer misses).
+
+Instruction gaps between accesses are geometric with mean set by the
+profile's APKI, so the generated trace hits the target intensity in
+expectation and the per-record variance resembles bursty real traces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.units import CACHELINE_BYTES, KIB, MIB
+from repro.workloads.profiles import WorkloadProfile
+
+#: Number of concurrent stride-1 streams for the sequential component.
+_NUM_STREAMS = 4
+#: 4KB pages for the random component's page-locality window.
+_LINES_PER_PAGE = 64
+#: Recently-touched pages the random component may revisit.
+_PAGE_WINDOW = 64
+#: Probability the sequential component stays on its current stream.
+_STREAM_STICKINESS = 0.85
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    num_accesses: int,
+    core_id: int = 0,
+    base_line: int = 0,
+    seed_salt: object = "trace",
+    scale_divisor: int = 1,
+) -> Trace:
+    """Generate ``num_accesses`` memory operations for one core.
+
+    ``base_line`` offsets the whole footprint, letting rate-mode cores run
+    disjoint copies (the paper's rate mode gives each core its own address
+    space). ``scale_divisor`` shrinks footprint and hot set for scaled
+    simulation (must match the cache scale so capacity ratios hold).
+    Deterministic given (profile.name, core_id, seed_salt).
+    """
+    if num_accesses <= 0:
+        raise ValueError("num_accesses must be positive")
+    if scale_divisor < 1:
+        raise ValueError("scale_divisor must be >= 1")
+    rng = DeterministicRng(derive_seed(profile.name, core_id, seed_salt))
+
+    footprint_lines = max(
+        64, int(profile.footprint_mib * MIB) // CACHELINE_BYTES // scale_divisor
+    )
+    hot_lines = max(
+        16, int(profile.hot_set_kib * KIB) // CACHELINE_BYTES // scale_divisor
+    )
+    hot_lines = min(hot_lines, footprint_lines)
+    # The hot set occupies the start of the footprint; streams and random
+    # draws roam everywhere (overlap with the hot set is harmless).
+    stream_positions = [
+        rng.randint(0, footprint_lines - 1) for _ in range(_NUM_STREAMS)
+    ]
+    # Recently-touched-page window for the random component's page locality.
+    num_pages = max(1, footprint_lines // _LINES_PER_PAGE)
+    page_window: List[int] = [rng.randint(0, num_pages - 1) for _ in range(_PAGE_WINDOW)]
+    window_cursor = 0
+    burst_page = page_window[0]
+    burst_left = 0
+    burst_offset = 0
+    active_stream = 0
+
+    mean_gap = max(0.0, 1000.0 / profile.apki - 1.0)
+    # Exponential inter-access gaps match the target APKI in expectation.
+    records: List[TraceRecord] = []
+    for _ in range(num_accesses):
+        gap = int(rng.expovariate(1.0 / mean_gap)) if mean_gap > 0 else 0
+        op = (
+            MemoryOp.WRITE
+            if rng.uniform() < profile.write_fraction
+            else MemoryOp.READ
+        )
+        draw = rng.uniform()
+        if draw < profile.sequential:
+            # Sticky stream selection: real streaming loops issue long runs
+            # from one stream before switching (row-buffer locality).
+            if rng.uniform() > _STREAM_STICKINESS:
+                current_stream = rng.randint(0, _NUM_STREAMS - 1)
+            else:
+                current_stream = active_stream
+            active_stream = current_stream
+            stream_positions[current_stream] = (
+                stream_positions[current_stream] + 1
+            ) % footprint_lines
+            line = stream_positions[current_stream]
+        elif draw < profile.sequential + profile.hot:
+            line = rng.randint(0, hot_lines - 1)
+        else:
+            if burst_left <= 0:
+                # Pick the next page to burst into: usually a recently
+                # touched one, occasionally a fresh uniform page.
+                if rng.uniform() < profile.page_locality:
+                    burst_page = page_window[rng.randint(0, _PAGE_WINDOW - 1)]
+                else:
+                    burst_page = rng.randint(0, num_pages - 1)
+                    page_window[window_cursor] = burst_page
+                    window_cursor = (window_cursor + 1) % _PAGE_WINDOW
+                burst_left = 1 + int(rng.expovariate(1.0 / profile.burst_length))
+                burst_offset = rng.randint(0, _LINES_PER_PAGE - 1)
+            burst_left -= 1
+            # Bursts walk the page sequentially: real miss streams are
+            # spatially clustered, which is what lets one counter line
+            # (covering 8 adjacent data lines) serve a run of misses.
+            line = min(
+                footprint_lines - 1,
+                burst_page * _LINES_PER_PAGE + burst_offset % _LINES_PER_PAGE,
+            )
+            burst_offset += 1
+        records.append(TraceRecord(gap, op, base_line + line))
+    return Trace(records, name="%s.c%d" % (profile.name, core_id))
+
+
+def rate_mode_traces(
+    profile: WorkloadProfile,
+    num_accesses: int,
+    num_cores: int = 4,
+    lines_per_core: int = 1 << 22,
+) -> List[Trace]:
+    """Per-core traces for rate mode: same workload, disjoint footprints."""
+    return [
+        generate_trace(
+            profile,
+            num_accesses,
+            core_id=core,
+            base_line=core * lines_per_core,
+        )
+        for core in range(num_cores)
+    ]

@@ -1,0 +1,19 @@
+"""The six mixed workloads (paper Section V).
+
+Each mix runs four *different* benchmarks, one per core, chosen as "random
+combinations" in the paper. We fix six deterministic combinations spanning
+intensity classes so mixes stress asymmetric contention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+MIXES: Dict[str, List[str]] = {
+    "mix1": ["mcf", "lbm", "gcc", "hmmer"],
+    "mix2": ["libquantum", "omnetpp", "sphinx3", "astar"],
+    "mix3": ["milc", "soplex", "bzip2", "gobmk"],
+    "mix4": ["GemsFDTD", "leslie3d", "xalancbmk", "dealII"],
+    "mix5": ["pr-twi", "cc-web", "bwaves", "perlbench"],
+    "mix6": ["bc-twi", "pr-web", "cactusADM", "h264ref"],
+}

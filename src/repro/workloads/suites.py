@@ -1,0 +1,52 @@
+"""Workload suite selection helpers for the experiment harness.
+
+The paper's headline numbers average 29 workloads (23 SPEC + 6 GAP);
+benches at reduced scale can run representative subsets without changing
+harness code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    GAP_WORKLOADS,
+    SPEC_WORKLOADS,
+    WorkloadProfile,
+    profile_by_name,
+)
+
+#: A spread of intensities + the anomaly-exhibiting web kernels; used by
+#: quick-scale benches where running all 29 would be too slow.
+REPRESENTATIVE = [
+    "mcf",
+    "lbm",
+    "libquantum",
+    "omnetpp",
+    "soplex",
+    "gcc",
+    "pr-twi",
+    "pr-web",
+    "cc-web",
+]
+
+
+def workload_suite(scope: str = "all") -> List[WorkloadProfile]:
+    """Resolve a suite name to profiles.
+
+    ``all`` = the paper's 29; ``spec`` / ``gap`` = subsets;
+    ``representative`` = 9 workloads for quick benches;
+    ``smoke`` = 3 workloads for tests.
+    """
+    if scope == "all":
+        return list(ALL_WORKLOADS)
+    if scope == "spec":
+        return list(SPEC_WORKLOADS)
+    if scope == "gap":
+        return list(GAP_WORKLOADS)
+    if scope == "representative":
+        return [profile_by_name(name) for name in REPRESENTATIVE]
+    if scope == "smoke":
+        return [profile_by_name(name) for name in ("mcf", "libquantum", "pr-web")]
+    raise ValueError("unknown suite scope %r" % scope)

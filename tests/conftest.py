@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.crypto.keys import ProcessorKeys
+
+
+@pytest.fixture(scope="session")
+def keys():
+    """Session-wide processor keys (key schedule derivation is not free)."""
+    return ProcessorKeys(b"test-master-secret")

@@ -1,0 +1,166 @@
+"""Cache model tests: LRU semantics, writebacks, the hierarchy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.cache.setassoc import SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(10, 4)  # not a multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(12, 4)  # 3 sets, not power of two
+
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(64, 4)
+        assert not cache.access(5).hit
+        assert cache.access(5).hit
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(4, 4)  # one set, 4 ways
+        for line in range(4):
+            cache.access(line * 1)  # fills the set (num_sets=1)
+        cache.access(0)  # 0 becomes MRU; LRU is 1
+        cache.access(100)  # evicts 1
+        assert cache.probe(0)
+        assert not cache.probe(1)
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = SetAssociativeCache(4, 4)
+        cache.access(1, is_write=True)
+        for line in range(2, 6):
+            result = cache.access(line)
+        # line 1 was LRU and dirty at the final fill.
+        assert cache.dirty_evictions == 1
+
+    def test_writeback_address_reconstruction(self):
+        cache = SetAssociativeCache(64, 2)  # 32 sets
+        victim = 5
+        cache.access(victim, is_write=True)
+        cache.access(victim + 32)
+        result = cache.access(victim + 64)
+        assert result.writeback_address == victim
+
+    def test_write_hit_marks_dirty(self):
+        cache = SetAssociativeCache(4, 4)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        for line in range(1, 5):
+            cache.access(line)
+        assert cache.dirty_evictions == 1
+
+    def test_probe_does_not_allocate(self):
+        cache = SetAssociativeCache(16, 4)
+        assert not cache.probe(3)
+        assert cache.misses == 0
+
+    def test_fill_without_stats(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.fill(3)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.probe(3)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access(7)
+        assert cache.invalidate(7)
+        assert not cache.probe(7)
+        assert not cache.invalidate(7)
+
+    def test_occupancy_bounded(self):
+        cache = SetAssociativeCache(32, 4)
+        for line in range(1000):
+            cache.access(line)
+        assert cache.occupancy <= 32
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.hits == 0
+        assert cache.access(3).hit
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    def test_matches_reference_model(self, addresses):
+        """Cross-check against a brute-force LRU model."""
+        cache = SetAssociativeCache(16, 4)  # 4 sets
+        reference = {s: [] for s in range(4)}
+        for address in addresses:
+            set_index = address & 3
+            ways = reference[set_index]
+            expected_hit = address in ways
+            if expected_hit:
+                ways.remove(address)
+            elif len(ways) >= 4:
+                ways.pop()
+            ways.insert(0, address)
+            assert cache.access(address).hit == expected_hit
+
+
+class TestCacheHierarchy:
+    def make(self):
+        return CacheHierarchy(
+            CacheConfig(llc_bytes=64 * 64, metadata_bytes=16 * 64)
+        )
+
+    def test_data_miss_then_hit(self):
+        hierarchy = self.make()
+        assert not hierarchy.access_data(0, False).hit
+        assert hierarchy.access_data(0, False).hit
+
+    def test_metadata_dedicated_hit(self):
+        hierarchy = self.make()
+        hierarchy.access_metadata(5, False, use_llc=False)
+        assert hierarchy.access_metadata(5, False, use_llc=False).hit
+
+    def test_metadata_without_llc_does_not_touch_llc(self):
+        hierarchy = self.make()
+        hierarchy.access_metadata(5, False, use_llc=False)
+        assert not hierarchy.llc.probe(5)
+
+    def test_metadata_with_llc_fills_llc(self):
+        hierarchy = self.make()
+        hierarchy.access_metadata(5, False, use_llc=True)
+        assert hierarchy.llc.probe(5)
+
+    def test_metadata_llc_hit_after_dedicated_eviction(self):
+        hierarchy = self.make()  # dedicated: 16 lines, 8-way -> 2 sets
+        hierarchy.access_metadata(0, False, use_llc=True)
+        # Flood the dedicated cache's set with same-set lines.
+        for index in range(1, 20):
+            hierarchy.access_metadata(index * 2, False, use_llc=True)
+        # Line 0 evicted from dedicated but still in the (bigger) LLC.
+        result = hierarchy.access_metadata(0, False, use_llc=True)
+        assert result.hit
+
+    def test_counter_contention_evicts_data(self):
+        hierarchy = self.make()  # LLC: 64 lines
+        for line in range(64):
+            hierarchy.access_data(line, False)
+        # Metadata flood through the LLC path evicts data lines.
+        for meta in range(1000, 1064):
+            hierarchy.access_metadata(meta, False, use_llc=True)
+        hits = sum(hierarchy.access_data(line, False).hit for line in range(64))
+        assert hits < 64
+
+    def test_fills_tracked(self):
+        hierarchy = self.make()
+        hierarchy.access_data(0, False)
+        hierarchy.access_metadata(1000, False, use_llc=True)
+        assert hierarchy.data_llc_fills == 1
+        assert hierarchy.metadata_llc_fills == 1

@@ -1,0 +1,103 @@
+"""Tests for Synergy's cacheline lane codecs (Fig. 7a layouts)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cacheline_codec import (
+    counter_line_candidates,
+    data_line_parity,
+    decode_counter_line,
+    decode_data_line,
+    decode_parity_line,
+    encode_counter_line,
+    encode_data_line,
+    encode_parity_line,
+    reconstruct_parity_slot,
+)
+from repro.ecc.parity import xor_parity
+
+lane8 = st.binary(min_size=8, max_size=8)
+
+
+class TestDataLineCodec:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=64, max_size=64), lane8)
+    def test_roundtrip(self, ciphertext, mac):
+        lanes = encode_data_line(ciphertext, mac)
+        assert decode_data_line(lanes) == (ciphertext, mac)
+
+    def test_parity_covers_all_nine_lanes(self):
+        lanes = encode_data_line(bytes(range(64)), bytes(8))
+        parity = data_line_parity(lanes)
+        assert parity == xor_parity(list(lanes))
+
+    def test_parity_lane_count_checked(self):
+        with pytest.raises(ValueError):
+            data_line_parity([bytes(8)] * 8)
+
+
+class TestParityLineCodec:
+    def test_roundtrip(self):
+        parities = [bytes([i] * 8) for i in range(8)]
+        lanes = encode_parity_line(parities)
+        decoded, parity_p = decode_parity_line(lanes)
+        assert decoded == parities
+        assert parity_p == xor_parity(parities)
+
+    def test_count_checked(self):
+        with pytest.raises(ValueError):
+            encode_parity_line([bytes(8)] * 7)
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            encode_parity_line([bytes(7)] * 8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(lane8, min_size=8, max_size=8), st.integers(0, 7))
+    def test_reconstruct_any_slot(self, parities, slot):
+        lanes = encode_parity_line(parities)
+        corrupted = list(lanes)
+        corrupted[slot] = b"\x00" * 8
+        assert reconstruct_parity_slot(corrupted, slot) == parities[slot]
+
+
+class TestCounterLineCodec:
+    def test_roundtrip(self):
+        counters = [100 + i for i in range(8)]
+        mac = bytes(range(8))
+        lanes = encode_counter_line(counters, mac)
+        decoded_counters, decoded_mac, parity = decode_counter_line(lanes)
+        assert decoded_counters == counters
+        assert decoded_mac == mac
+        assert parity == xor_parity(list(lanes[:8]))
+
+    def test_candidates_count(self):
+        lanes = encode_counter_line([0] * 8, bytes(8))
+        assert len(counter_line_candidates(lanes)) == 8
+
+    def test_candidate_repairs_its_chip(self):
+        counters = [100 + i for i in range(8)]
+        mac = bytes(range(8))
+        lanes = encode_counter_line(counters, mac)
+        corrupted = list(lanes)
+        corrupted[3] = b"\xff" * 8
+        candidates = counter_line_candidates(corrupted)
+        chip, repaired_counters, repaired_mac = candidates[3]
+        assert chip == 3
+        assert repaired_counters == counters
+        assert repaired_mac == mac
+
+    def test_wrong_candidate_does_not_repair(self):
+        counters = [100 + i for i in range(8)]
+        lanes = encode_counter_line(counters, bytes(8))
+        corrupted = list(lanes)
+        corrupted[3] = b"\xff" * 8
+        _, wrong_counters, _ = counter_line_candidates(corrupted)[4]
+        assert wrong_counters != counters
+
+    def test_lane_counts_validated(self):
+        with pytest.raises(ValueError):
+            decode_counter_line([bytes(8)] * 8)
+        with pytest.raises(ValueError):
+            counter_line_candidates([bytes(8)] * 8)

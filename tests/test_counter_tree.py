@@ -1,0 +1,121 @@
+"""Tests for the shared counter-tree state and bump mechanics."""
+
+import pytest
+
+from repro.secure.counter_tree import CounterTree, MetadataCache
+from repro.secure.mac import LineMacCalculator
+from repro.secure.metadata_layout import MetadataLayout
+
+
+class DictStore:
+    """Minimal in-memory LineStore for isolated tree tests."""
+
+    def __init__(self):
+        self.lines = {}
+
+    def load_counter_line(self, address):
+        return self.lines.get(address)
+
+    def store_counter_line(self, address, counters, mac):
+        self.lines[address] = (list(counters), bytes(mac))
+
+
+@pytest.fixture
+def tree(keys):
+    layout = MetadataLayout(512)
+    mac_calc = LineMacCalculator(keys.make_mac())
+    return CounterTree(layout, mac_calc, DictStore()), layout
+
+
+class TestBumpChain:
+    def test_bump_increments_all_levels(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        trusted = {address: tree.fresh_line() for address, _ in chain}
+        new_counter = tree.bump_chain(chain, trusted)
+        assert new_counter == 1
+        assert tree.root == 1
+        for address, slot in chain:
+            counters, _mac = tree.store.load_counter_line(address)
+            assert counters[slot] == 1
+
+    def test_repeat_bumps_accumulate(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        trusted = {address: tree.fresh_line() for address, _ in chain}
+        tree.bump_chain(chain, trusted)
+        trusted = {
+            address: tree.store.load_counter_line(address)[0] for address, _ in chain
+        }
+        assert tree.bump_chain(chain, trusted) == 2
+        assert tree.root == 2
+
+    def test_macs_verify_under_new_parents(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        trusted = {address: tree.fresh_line() for address, _ in chain}
+        tree.bump_chain(chain, trusted)
+        # Re-verify every stored line under its parent's stored value.
+        for index, (address, _) in enumerate(chain):
+            counters, mac = tree.store.load_counter_line(address)
+            if index == len(chain) - 1:
+                parent_value = tree.root
+            else:
+                parent_address, parent_slot = chain[index + 1]
+                parent_counters, _ = tree.store.load_counter_line(parent_address)
+                parent_value = parent_counters[parent_slot]
+            expected = tree.mac_calc.counter_line_mac(address, parent_value, counters)
+            assert expected == mac
+
+    def test_sibling_lines_unaffected(self, tree):
+        tree, layout = tree
+        chain0 = layout.verification_chain(0)
+        trusted = {address: tree.fresh_line() for address, _ in chain0}
+        tree.bump_chain(chain0, trusted)
+        counters, _ = tree.store.load_counter_line(layout.counter_line(0))
+        # Only slot 0 (covering data line 0) incremented.
+        assert counters == [1] + [0] * 7
+
+    def test_missing_trusted_entry_rejected(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        with pytest.raises(KeyError):
+            tree.bump_chain(chain, {})
+
+    def test_cache_refreshed_after_bump(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        trusted = {address: tree.fresh_line() for address, _ in chain}
+        tree.bump_chain(chain, trusted)
+        cached = tree.cache.lookup(layout.counter_line(0))
+        assert cached is not None and cached[0] == 1
+
+
+class TestParentValue:
+    def test_root_for_top(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        tree.root = 42
+        assert tree.parent_value(chain, len(chain) - 1, {}) == 42
+
+    def test_interior_parent(self, tree):
+        tree, layout = tree
+        chain = layout.verification_chain(0)
+        parent_address, parent_slot = chain[1]
+        trusted = {parent_address: [7] * 8}
+        assert tree.parent_value(chain, 0, trusted) == 7
+
+
+class TestLoadOrFresh:
+    def test_missing_line_is_fresh(self, tree):
+        tree, _layout = tree
+        counters, mac = tree.load_or_fresh(999)
+        assert counters == [0] * 8
+        assert mac is None
+
+    def test_stored_line_returned(self, tree):
+        tree, _layout = tree
+        tree.store.store_counter_line(5, [1] * 8, b"12345678")
+        counters, mac = tree.load_or_fresh(5)
+        assert counters == [1] * 8
+        assert mac == b"12345678"

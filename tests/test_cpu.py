@@ -1,0 +1,185 @@
+"""Trace and ROB core-model tests."""
+
+import pytest
+
+from repro.cpu.multicore import MulticoreDriver
+from repro.cpu.rob import AccessHandle, CoreModel, CoreParams
+from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+
+
+class TestTrace:
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, MemoryOp.READ, 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0, MemoryOp.READ, -1)
+
+    def test_instruction_accounting(self):
+        record = TraceRecord(9, MemoryOp.READ, 0)
+        assert record.instructions == 10
+
+    def test_trace_statistics(self):
+        trace = Trace(
+            [
+                TraceRecord(99, MemoryOp.READ, 0),
+                TraceRecord(99, MemoryOp.WRITE, 1),
+            ]
+        )
+        assert trace.total_instructions == 200
+        assert trace.accesses_per_kilo_instruction == pytest.approx(10.0)
+        assert trace.write_fraction == pytest.approx(0.5)
+        assert trace.footprint_lines() == 2
+
+
+class ImmediateMemory:
+    """Memory that answers reads after a fixed latency (no queueing)."""
+
+    def __init__(self, latency=100.0):
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+
+    def read(self, line, time, core):
+        self.reads.append((line, time))
+        return AccessHandle(time + self.latency)
+
+    def write(self, line, time, core):
+        self.writes.append((line, time))
+
+
+class DeferredMemory:
+    """Memory whose handles resolve only when resolve() is called."""
+
+    def __init__(self, latency=100.0):
+        self.latency = latency
+        self.pending = []
+
+    def read(self, line, time, core):
+        handle = AccessHandle(None)
+        self.pending.append((handle, time))
+        return handle
+
+    def write(self, line, time, core):
+        pass
+
+    def resolve(self):
+        for handle, time in self.pending:
+            handle.completion_cpu = time + self.latency
+        self.pending.clear()
+
+
+def run_core(records, memory, params=CoreParams()):
+    core = CoreModel(0, Trace(records), memory.read, memory.write, params)
+    while True:
+        blocked = core.advance()
+        if core.done:
+            return core
+        assert blocked is not None
+        if hasattr(memory, "resolve"):
+            memory.resolve()
+
+
+class TestCoreModel:
+    def test_pure_compute_ipc_equals_width(self):
+        memory = ImmediateMemory(latency=0)
+        records = [TraceRecord(399, MemoryOp.WRITE, 0) for _ in range(10)]
+        core = run_core(records, memory)
+        assert core.ipc == pytest.approx(4.0, rel=0.01)
+
+    def test_memory_bound_ipc_tracks_latency(self):
+        # Dependent reads (one outstanding at a time via tiny ROB) take
+        # latency cycles each.
+        memory = ImmediateMemory(latency=200.0)
+        records = [TraceRecord(0, MemoryOp.READ, i) for i in range(20)]
+        core = run_core(records, memory, CoreParams(rob_size=1, width=4))
+        # Each read retires ~200 cycles after issue and issue waits for
+        # the previous retirement: ~200 cycles per instruction.
+        assert core.retire_time >= 19 * 200.0
+
+    def test_rob_hides_latency(self):
+        memory = ImmediateMemory(latency=200.0)
+        records = [TraceRecord(0, MemoryOp.READ, i) for i in range(20)]
+        big = run_core(records, memory, CoreParams(rob_size=192, width=4))
+        memory2 = ImmediateMemory(latency=200.0)
+        small = run_core(records, memory2, CoreParams(rob_size=2, width=4))
+        assert big.retire_time < small.retire_time
+
+    def test_writes_do_not_block(self):
+        memory = ImmediateMemory(latency=10_000.0)
+        records = [TraceRecord(0, MemoryOp.WRITE, i) for i in range(50)]
+        core = run_core(records, memory)
+        assert core.retire_time < 100
+        assert len(memory.writes) == 50
+
+    def test_blocking_protocol(self):
+        memory = DeferredMemory(latency=50.0)
+        records = [TraceRecord(0, MemoryOp.READ, i) for i in range(300)]
+        core = CoreModel(0, Trace(records), memory.read, memory.write)
+        blocked = core.advance()
+        assert blocked is not None  # ROB filled, waiting on first read
+        memory.resolve()
+        while not core.done:
+            core.advance()
+            memory.resolve()
+        assert core.retired_count == 300
+
+    def test_all_instructions_retire(self):
+        memory = ImmediateMemory()
+        records = [TraceRecord(7, MemoryOp.READ, i % 5) for i in range(100)]
+        core = run_core(records, memory)
+        assert core.retired_count == Trace(records).total_instructions
+
+    def test_reads_issued_at_fetch_time(self):
+        memory = ImmediateMemory(latency=1.0)
+        records = [TraceRecord(3, MemoryOp.READ, 7)]
+        run_core(records, memory)
+        line, time = memory.reads[0]
+        assert line == 7
+        assert time == pytest.approx(1.0)  # 4 instructions at width 4
+
+
+class TestMulticoreDriver:
+    def test_runs_all_cores(self):
+        memory = DeferredMemory(latency=30.0)
+        cores = [
+            CoreModel(
+                core,
+                Trace([TraceRecord(0, MemoryOp.READ, i) for i in range(50)]),
+                memory.read,
+                memory.write,
+            )
+            for core in range(4)
+        ]
+        driver = MulticoreDriver(cores, memory.resolve)
+        driver.run()
+        assert all(core.done for core in cores)
+        assert driver.total_instructions == 200
+
+    def test_finish_time_is_max(self):
+        memory = DeferredMemory(latency=30.0)
+        fast = CoreModel(0, Trace([TraceRecord(0, MemoryOp.READ, 0)]), memory.read, memory.write)
+        slow = CoreModel(
+            1,
+            Trace([TraceRecord(0, MemoryOp.READ, i) for i in range(400)]),
+            memory.read,
+            memory.write,
+        )
+        driver = MulticoreDriver([fast, slow], memory.resolve)
+        driver.run()
+        assert driver.finish_time_cpu == slow.retire_time
+
+    def test_nonconvergence_guard(self):
+        class BrokenMemory(DeferredMemory):
+            def resolve(self):  # never resolves
+                pass
+
+        memory = BrokenMemory()
+        core = CoreModel(
+            0,
+            Trace([TraceRecord(0, MemoryOp.READ, i) for i in range(300)]),
+            memory.read,
+            memory.write,
+        )
+        driver = MulticoreDriver([core], memory.resolve)
+        with pytest.raises(RuntimeError):
+            driver.run(max_epochs=10)

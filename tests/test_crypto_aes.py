@@ -1,0 +1,77 @@
+"""AES-128 tests: FIPS-197 vectors plus structural properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import Aes128
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST SP 800-38A ECB-AES128 vectors.
+SP800_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_BLOCKS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+class TestFipsVectors:
+    def test_fips197_appendix_c(self):
+        assert Aes128(FIPS_KEY).encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+    def test_fips197_decrypt(self):
+        assert Aes128(FIPS_KEY).decrypt_block(FIPS_CIPHERTEXT) == FIPS_PLAINTEXT
+
+    @pytest.mark.parametrize("plaintext_hex,ciphertext_hex", SP800_BLOCKS)
+    def test_sp800_38a_ecb(self, plaintext_hex, ciphertext_hex):
+        cipher = Aes128(SP800_KEY)
+        assert cipher.encrypt_block(bytes.fromhex(plaintext_hex)) == bytes.fromhex(
+            ciphertext_hex
+        )
+
+
+class TestStructure:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_bad_block_length(self):
+        cipher = Aes128(FIPS_KEY)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_deterministic(self):
+        cipher = Aes128(FIPS_KEY)
+        block = b"A" * 16
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_key_sensitivity(self):
+        other_key = bytes([FIPS_KEY[0] ^ 1]) + FIPS_KEY[1:]
+        block = b"B" * 16
+        assert Aes128(FIPS_KEY).encrypt_block(block) != Aes128(other_key).encrypt_block(
+            block
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=16, max_size=16))
+    def test_roundtrip(self, block):
+        cipher = Aes128(FIPS_KEY)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=16, max_size=16))
+    def test_avalanche(self, block):
+        cipher = Aes128(FIPS_KEY)
+        flipped = bytes([block[0] ^ 1]) + block[1:]
+        a = cipher.encrypt_block(block)
+        b = cipher.encrypt_block(flipped)
+        differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        # A single input-bit flip should change roughly half the output bits.
+        assert differing_bits > 30

@@ -1,0 +1,74 @@
+"""Tests for counter-mode encryption of cachelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.keys import ProcessorKeys
+from repro.util.units import CACHELINE_BYTES
+
+KEY = bytes(range(16))
+
+
+class TestCounterMode:
+    def test_roundtrip(self):
+        cipher = CounterModeCipher(KEY)
+        line = bytes(range(64))
+        assert cipher.decrypt(8, 3, cipher.encrypt(8, 3, line)) == line
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = CounterModeCipher(KEY)
+        line = bytes(64)
+        assert cipher.encrypt(8, 3, line) != line
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            CounterModeCipher(KEY).encrypt(0, 0, b"short")
+
+    def test_temporal_variation(self):
+        cipher = CounterModeCipher(KEY)
+        line = b"A" * CACHELINE_BYTES
+        assert cipher.encrypt(8, 3, line) != cipher.encrypt(8, 4, line)
+
+    def test_spatial_variation(self):
+        cipher = CounterModeCipher(KEY)
+        line = b"A" * CACHELINE_BYTES
+        assert cipher.encrypt(8, 3, line) != cipher.encrypt(9, 3, line)
+
+    def test_pad_length(self):
+        assert len(CounterModeCipher(KEY).one_time_pad(0, 0)) == CACHELINE_BYTES
+
+    def test_wrong_counter_garbles(self):
+        cipher = CounterModeCipher(KEY)
+        line = b"secret data".ljust(64, b"\x00")
+        ciphertext = cipher.encrypt(5, 10, line)
+        assert cipher.decrypt(5, 11, ciphertext) != line
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=64, max_size=64), st.integers(0, 2**40))
+    def test_roundtrip_property(self, line, counter):
+        cipher = CounterModeCipher(KEY)
+        assert cipher.decrypt(77, counter, cipher.encrypt(77, counter, line)) == line
+
+
+class TestProcessorKeys:
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorKeys(b"")
+
+    def test_deterministic_derivation(self):
+        a = ProcessorKeys(b"s").make_cipher().encrypt(0, 0, bytes(64))
+        b = ProcessorKeys(b"s").make_cipher().encrypt(0, 0, bytes(64))
+        assert a == b
+
+    def test_distinct_secrets_distinct_keys(self):
+        a = ProcessorKeys(b"s1").make_cipher().encrypt(0, 0, bytes(64))
+        b = ProcessorKeys(b"s2").make_cipher().encrypt(0, 0, bytes(64))
+        assert a != b
+
+    def test_encryption_and_mac_keys_independent(self):
+        keys = ProcessorKeys(b"s")
+        pad = keys.make_cipher().one_time_pad(0, 0)
+        tag = keys.make_mac().tag(0, 0, bytes(64))
+        assert pad[:8] != tag

@@ -1,0 +1,60 @@
+"""Field-axiom tests for the GHASH GF(2^128) arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gf128 import GF128_ONE, block_to_int, gf128_mul, gf128_pow, int_to_block
+
+elements = st.integers(min_value=0, max_value=2**128 - 1)
+
+
+class TestBlockConversion:
+    @given(elements)
+    def test_roundtrip(self, value):
+        assert block_to_int(int_to_block(value)) == value
+
+
+class TestFieldAxioms:
+    @settings(max_examples=50, deadline=None)
+    @given(elements, elements)
+    def test_commutativity(self, a, b):
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(elements, elements, elements)
+    def test_associativity(self, a, b, c):
+        assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+    @settings(max_examples=25, deadline=None)
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = gf128_mul(a, b ^ c)
+        right = gf128_mul(a, b) ^ gf128_mul(a, c)
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf128_mul(a, GF128_ONE) == a
+
+    @settings(max_examples=50, deadline=None)
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf128_mul(a, 0) == 0
+
+
+class TestPow:
+    @settings(max_examples=20, deadline=None)
+    @given(elements)
+    def test_pow_zero_is_one(self, a):
+        assert gf128_pow(a, 0) == GF128_ONE
+
+    @settings(max_examples=20, deadline=None)
+    @given(elements)
+    def test_pow_one_is_identity(self, a):
+        assert gf128_pow(a, 1) == a
+
+    @settings(max_examples=10, deadline=None)
+    @given(elements, st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+    def test_pow_adds_exponents(self, a, m, n):
+        assert gf128_mul(gf128_pow(a, m), gf128_pow(a, n)) == gf128_pow(a, m + n)

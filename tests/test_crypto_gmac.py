@@ -1,0 +1,79 @@
+"""Tests for GHASH and the 64-bit GMAC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ghash import GHash
+from repro.crypto.gmac import MAC_BYTES, Gmac64
+
+KEY = bytes(range(16))
+
+
+class TestGHash:
+    def test_subkey_length_checked(self):
+        with pytest.raises(ValueError):
+            GHash(b"short")
+
+    def test_deterministic(self):
+        ghash = GHash(KEY)
+        assert ghash.digest(b"hello") == ghash.digest(b"hello")
+
+    def test_length_matters(self):
+        ghash = GHash(KEY)
+        # Same bytes padded differently must hash differently (length block).
+        assert ghash.digest(b"a") != ghash.digest(b"a" + b"\x00")
+
+    def test_empty_input(self):
+        assert len(GHash(KEY).digest(b"")) == 16
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=100))
+    def test_digest_is_16_bytes(self, data):
+        assert len(GHash(KEY).digest(data)) == 16
+
+
+class TestGmac64:
+    def test_tag_length(self):
+        assert len(Gmac64(KEY).tag(0, 0, b"x" * 64)) == MAC_BYTES
+
+    def test_verify_roundtrip(self):
+        gmac = Gmac64(KEY)
+        tag = gmac.tag(0x40, 7, b"payload" * 8)
+        assert gmac.verify(0x40, 7, b"payload" * 8, tag)
+
+    def test_address_binding(self):
+        gmac = Gmac64(KEY)
+        assert gmac.tag(1, 5, b"x" * 64) != gmac.tag(2, 5, b"x" * 64)
+
+    def test_counter_binding(self):
+        gmac = Gmac64(KEY)
+        assert gmac.tag(1, 5, b"x" * 64) != gmac.tag(1, 6, b"x" * 64)
+
+    def test_payload_binding(self):
+        gmac = Gmac64(KEY)
+        assert gmac.tag(1, 5, b"x" * 64) != gmac.tag(1, 5, b"y" + b"x" * 63)
+
+    def test_key_binding(self):
+        other = bytes([1]) + KEY[1:]
+        assert Gmac64(KEY).tag(1, 5, b"x" * 64) != Gmac64(other).tag(1, 5, b"x" * 64)
+
+    def test_large_counter_accepted(self):
+        # Corrupted counters can be up to 56 bits; tagging must not raise.
+        gmac = Gmac64(KEY)
+        tag = gmac.tag(3, (1 << 56) - 1, b"z" * 64)
+        assert len(tag) == MAC_BYTES
+
+    def test_verify_rejects_wrong_tag(self):
+        gmac = Gmac64(KEY)
+        tag = bytearray(gmac.tag(9, 1, b"w" * 64))
+        tag[0] ^= 1
+        assert not gmac.verify(9, 1, b"w" * 64, bytes(tag))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=64, max_size=64), st.integers(0, 2**32))
+    def test_single_byte_change_detected(self, payload, counter):
+        gmac = Gmac64(KEY)
+        tag = gmac.tag(0x123, counter, payload)
+        corrupted = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        assert not gmac.verify(0x123, counter, corrupted, tag)

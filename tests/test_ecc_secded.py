@@ -1,0 +1,80 @@
+"""SECDED (72,64) tests: exhaustive single-bit, random double-bit."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.secded import Secded72_64, SecdedResult, SecdedStatus
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return Secded72_64()
+
+
+class TestEncode:
+    def test_rejects_oversized_data(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(1 << 64)
+
+    def test_codeword_width(self, codec):
+        assert codec.encode((1 << 64) - 1) < (1 << 72)
+
+    def test_zero_data_zero_codeword(self, codec):
+        # All-zero data yields all-zero parity: a classic Hamming property.
+        assert codec.encode(0) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_even_overall_parity(self, value):
+        codeword = Secded72_64().encode(value)
+        assert bin(codeword).count("1") % 2 == 0
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, codec):
+        for data in (0, 1, 0xDEADBEEF, (1 << 64) - 1):
+            result = codec.decode(codec.encode(data))
+            assert result.status is SecdedStatus.CLEAN
+            assert result.data == data
+
+    def test_rejects_oversized_codeword(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(1 << 72)
+
+    def test_single_bit_correction_exhaustive(self, codec):
+        data = 0xA5A5_5A5A_1234_8765
+        codeword = codec.encode(data)
+        for bit in range(72):
+            result = codec.decode(codeword ^ (1 << bit))
+            assert result.status is SecdedStatus.CORRECTED, bit
+            assert result.data == data, bit
+            assert result.flipped_bit == bit
+
+    def test_double_bit_detection_random(self, codec):
+        rng = random.Random(5)
+        data = 0x0123_4567_89AB_CDEF
+        codeword = codec.encode(data)
+        for _ in range(300):
+            first, second = rng.sample(range(72), 2)
+            corrupted = codeword ^ (1 << first) ^ (1 << second)
+            result = codec.decode(corrupted)
+            assert result.status is SecdedStatus.DETECTED_UNCORRECTABLE
+            assert result.data is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=71),
+    )
+    def test_single_bit_property(self, data, bit):
+        codec = Secded72_64()
+        result = codec.decode(codec.encode(data) ^ (1 << bit))
+        assert result.status is SecdedStatus.CORRECTED
+        assert result.data == data
+
+    def test_result_dataclass_fields(self):
+        result = SecdedResult(data=5, status=SecdedStatus.CLEAN)
+        assert result.flipped_bit is None

@@ -1,0 +1,81 @@
+"""Integration smoke tests: every figure experiment runs and has the
+paper's qualitative shape at micro scale.
+
+These complement the benchmarks (which run at quick scale): here we only
+check structure and directional claims, with the smallest traces that still
+exercise the full pipeline.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    fig16,
+    fig17,
+)
+from repro.harness.scales import Scale
+
+#: Micro scale: two memory-intensive workloads, very short traces.
+MICRO = Scale("micro", "smoke", 1_200, False, 50_000)
+
+
+@pytest.fixture(scope="module")
+def fig8_summary():
+    return fig8(MICRO, quiet=True)
+
+
+class TestHeadlineFigures:
+    def test_fig8_orderings(self, fig8_summary):
+        assert fig8_summary["Synergy"] > 1.0
+        assert fig8_summary["SGX"] < 1.0
+
+    def test_fig6_orderings(self):
+        summary = fig6(MICRO, quiet=True)
+        assert summary["NonSecure"] > 1.0
+        assert summary["SGX"] < 1.0
+
+    def test_fig9_structure(self):
+        breakdown = fig9(MICRO, quiet=True)
+        assert breakdown["Synergy"]["mac_read"] == 0.0
+        assert breakdown["SGX_O"]["mac_read"] > 0.0
+        assert breakdown["Synergy"]["parity_write"] > 0.0
+        assert breakdown["synergy_reduction"]["total"] > 0.0
+
+    def test_fig10_structure(self):
+        out = fig10(MICRO, quiet=True)
+        assert out["Synergy"]["edp"] < 1.0 < out["SGX"]["edp"]
+        assert out["SGX_O"]["performance"] == pytest.approx(1.0)
+
+
+class TestSensitivityFigures:
+    def test_fig12_gain_shrinks_with_channels(self):
+        out = fig12(MICRO, quiet=True)
+        assert set(out) == {2, 4, 8}
+        assert out[2]["Synergy"] > out[8]["Synergy"]
+
+    def test_fig13_both_modes_win(self):
+        out = fig13(MICRO, quiet=True)
+        assert out["monolithic"] > 1.0
+        assert out["split"] > 1.0
+
+    def test_fig14_llc_caching_helps_more(self):
+        out = fig14(MICRO, quiet=True)
+        assert out["dedicated+LLC"] > out["dedicated-only"]
+
+
+class TestComparisonFigures:
+    def test_fig16_ivec_loses(self):
+        out = fig16(MICRO, quiet=True)
+        assert out["IVEC"]["performance"] < out["Synergy"]["performance"]
+        assert out["Synergy"]["performance"] > 1.0
+
+    def test_fig17_lotecc_loses(self):
+        out = fig17(MICRO, quiet=True)
+        assert out["LOTECC"]["performance"] < 1.0
+        assert out["Synergy"]["performance"] > 1.0

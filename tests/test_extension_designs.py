@@ -1,0 +1,59 @@
+"""Tests for the extension designs: custom DIMM (§VI-B) and Chipkill perf."""
+
+import pytest
+
+from repro.secure.designs import (
+    CHIPKILL_SECURE,
+    SGX_O,
+    SYNERGY,
+    SYNERGY_CUSTOM,
+    Reliability,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+
+SMALL = SystemConfig(accesses_per_core=1_500)
+
+
+class TestSynergyCustom:
+    def test_descriptor(self):
+        assert not SYNERGY_CUSTOM.parity_write_on_data_write
+        assert SYNERGY_CUSTOM.reliability is Reliability.SYNERGY_PARITY
+
+    def test_no_parity_traffic(self):
+        result = run_workload(SYNERGY_CUSTOM, "mcf", SMALL)
+        assert result.traffic.get("parity_write", 0) == 0
+
+    def test_at_least_as_fast_as_synergy(self):
+        custom = run_workload(SYNERGY_CUSTOM, "mcf", SMALL)
+        synergy = run_workload(SYNERGY, "mcf", SMALL)
+        assert custom.ipc >= synergy.ipc * 0.99
+
+
+class TestChipkillSecure:
+    def test_descriptor(self):
+        assert CHIPKILL_SECURE.chipkill_lockstep
+        assert CHIPKILL_SECURE.reliability is Reliability.CHIPKILL
+
+    def test_lockstep_halves_channels(self):
+        from repro.sim.system import SystemSimulator
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.profiles import profile_by_name
+
+        traces = [
+            generate_trace(profile_by_name("gcc"), 400, core_id=c, scale_divisor=16)
+            for c in range(2)
+        ]
+        config = SystemConfig(num_cores=2, accesses_per_core=400)
+        sim = SystemSimulator(CHIPKILL_SECURE, traces, config)
+        assert len(sim.controller.channels) == config.memory.channels // 2
+
+    def test_slower_than_single_channel_baseline(self):
+        chipkill = run_workload(CHIPKILL_SECURE, "mcf", SMALL)
+        baseline = run_workload(SGX_O, "mcf", SMALL)
+        assert chipkill.ipc < baseline.ipc
+
+    def test_synergy_beats_chipkill(self):
+        chipkill = run_workload(CHIPKILL_SECURE, "mcf", SMALL)
+        synergy = run_workload(SYNERGY, "mcf", SMALL)
+        assert synergy.ipc > chipkill.ipc

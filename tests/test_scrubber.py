@@ -1,0 +1,60 @@
+"""Memory-scrubber tests."""
+
+import pytest
+
+from repro.core.scrubber import MemoryScrubber
+from repro.core.synergy import SynergyMemory
+from repro.dimm.faults import ChipFault, FaultKind
+
+
+@pytest.fixture
+def memory(keys):
+    memory = SynergyMemory(64, keys=keys)
+    for line in range(8):
+        memory.write(line, bytes([line]) * 64)
+    return memory
+
+
+class TestScrubber:
+    def test_clean_memory_clean_report(self, memory):
+        report = MemoryScrubber(memory).scrub()
+        assert report.clean
+        assert report.lines_scanned == 64
+
+    def test_latent_error_found_and_corrected(self, memory):
+        memory.dimm.inject_fault(
+            3, ChipFault(FaultKind.SINGLE_WORD, line_address=5, seed=1)
+        )
+        memory.tree.cache.clear()
+        report = MemoryScrubber(memory).scrub()
+        assert report.corrections >= 1
+        assert 3 in report.corrections_by_chip
+        assert not report.uncorrectable_lines
+
+    def test_scrub_repairs_for_future_reads(self, memory):
+        fault = ChipFault(FaultKind.SINGLE_WORD, line_address=5, seed=1)
+        memory.dimm.inject_fault(3, fault)
+        memory.tree.cache.clear()
+        MemoryScrubber(memory).scrub()
+        memory.dimm.clear_faults()
+        # After scrubbing, the stored line is already repaired.
+        assert memory.read(5) == bytes([5]) * 64
+
+    def test_uncorrectable_lines_surveyed_not_raised(self, memory):
+        memory.dimm.inject_fault(
+            1, ChipFault(FaultKind.SINGLE_WORD, line_address=2, seed=1)
+        )
+        memory.dimm.inject_fault(
+            6, ChipFault(FaultKind.SINGLE_WORD, line_address=2, seed=2)
+        )
+        memory.tree.cache.clear()
+        report = MemoryScrubber(memory).scrub()
+        assert report.uncorrectable_lines == [2]
+        assert report.lines_scanned == 64  # the walk continued
+
+    def test_whole_chip_scrub(self, memory):
+        memory.dimm.inject_fault(7, ChipFault(FaultKind.WHOLE_CHIP, seed=9))
+        memory.tree.cache.clear()
+        report = MemoryScrubber(memory).scrub()
+        assert not report.uncorrectable_lines
+        assert report.corrections_by_chip.get(7, 0) >= 1

@@ -1,0 +1,122 @@
+"""Tests for counter-line packing and the split-counter model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.counters import (
+    COUNTER_LIMIT,
+    COUNTERS_PER_LINE,
+    SplitCounterConfig,
+    SplitCounterPage,
+    counter_line_lanes,
+    counter_line_payload_bytes,
+    counter_parity,
+    pack_counter_payload,
+    unpack_counter_lanes,
+)
+
+counters_strategy = st.lists(
+    st.integers(min_value=0, max_value=COUNTER_LIMIT - 1),
+    min_size=8,
+    max_size=8,
+)
+
+
+class TestPacking:
+    def test_payload_length(self):
+        assert len(pack_counter_payload([0] * 8)) == 56
+
+    def test_counter_count_checked(self):
+        with pytest.raises(ValueError):
+            pack_counter_payload([0] * 7)
+
+    def test_counter_width_checked(self):
+        with pytest.raises(ValueError):
+            pack_counter_payload([COUNTER_LIMIT] + [0] * 7)
+
+    def test_lane_layout(self):
+        counters = list(range(8))
+        mac = bytes(range(8))
+        lanes = counter_line_lanes(counters, mac)
+        assert len(lanes) == COUNTERS_PER_LINE
+        for index, lane in enumerate(lanes):
+            assert int.from_bytes(lane[:7], "big") == index
+            assert lane[7] == mac[index]
+
+    def test_mac_length_checked(self):
+        with pytest.raises(ValueError):
+            counter_line_lanes([0] * 8, bytes(7))
+
+    @settings(max_examples=40, deadline=None)
+    @given(counters_strategy, st.binary(min_size=8, max_size=8))
+    def test_lane_roundtrip(self, counters, mac):
+        lanes = counter_line_lanes(counters, mac)
+        recovered_counters, recovered_mac = unpack_counter_lanes(lanes)
+        assert recovered_counters == counters
+        assert recovered_mac == mac
+
+    def test_unpack_validates(self):
+        with pytest.raises(ValueError):
+            unpack_counter_lanes([bytes(8)] * 7)
+        with pytest.raises(ValueError):
+            unpack_counter_lanes([bytes(7)] * 8)
+
+    def test_parity_is_xor_of_lanes(self):
+        lanes = counter_line_lanes(list(range(8)), bytes(8))
+        parity = counter_parity(lanes)
+        acc = bytes(8)
+        for lane in lanes:
+            acc = bytes(a ^ b for a, b in zip(acc, lane))
+        assert parity == acc
+
+    def test_payload_bytes_is_64(self):
+        assert len(counter_line_payload_bytes([0] * 8, bytes(8))) == 64
+
+
+class TestSplitCounters:
+    def test_coverage(self):
+        assert SplitCounterConfig().coverage == 64
+
+    def test_value_composition(self):
+        page = SplitCounterPage()
+        assert page.value(0) == 0
+        page.bump(0)
+        assert page.value(0) == 1
+
+    def test_bump_returns_new_value(self):
+        page = SplitCounterPage()
+        value, reencrypt = page.bump(3)
+        assert value == 1
+        assert reencrypt == []
+
+    def test_minor_overflow_rolls_major(self):
+        config = SplitCounterConfig(minor_bits=2, lines_per_major=4)
+        page = SplitCounterPage(config)
+        for _ in range(3):
+            _, reencrypt = page.bump(0)
+            assert reencrypt == []
+        value, reencrypt = page.bump(0)  # 4th bump overflows 2-bit minor
+        assert page.major == 1
+        assert sorted(reencrypt) == [1, 2, 3]
+        assert value == (1 << 2)
+
+    def test_overflow_resets_all_minors(self):
+        config = SplitCounterConfig(minor_bits=1, lines_per_major=2)
+        page = SplitCounterPage(config)
+        page.bump(1)
+        page.bump(0)
+        page.bump(0)  # overflow
+        assert page.minors == [0, 0]
+
+    def test_line_index_validated(self):
+        with pytest.raises(ValueError):
+            SplitCounterPage().bump(64)
+
+    def test_counter_values_monotonic_per_line(self):
+        page = SplitCounterPage(SplitCounterConfig(minor_bits=3, lines_per_major=8))
+        previous = page.value(2)
+        for _ in range(20):
+            value, _ = page.bump(2)
+            assert value > previous
+            previous = value

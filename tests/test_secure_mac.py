@@ -1,0 +1,62 @@
+"""Tests for the line MAC calculator and MAC budget accounting."""
+
+import pytest
+
+from repro.secure.mac import LineMacCalculator, MacBudget
+
+
+@pytest.fixture
+def calc(keys):
+    return LineMacCalculator(keys.make_mac())
+
+
+class TestLineMacCalculator:
+    def test_data_mac_binds_everything(self, calc):
+        base = calc.data_mac(1, 2, b"x" * 64)
+        assert calc.data_mac(2, 2, b"x" * 64) != base  # address
+        assert calc.data_mac(1, 3, b"x" * 64) != base  # counter
+        assert calc.data_mac(1, 2, b"y" + b"x" * 63) != base  # payload
+
+    def test_counter_line_mac_binds_parent(self, calc):
+        counters = list(range(8))
+        base = calc.counter_line_mac(10, 5, counters)
+        assert calc.counter_line_mac(10, 6, counters) != base
+        assert calc.counter_line_mac(11, 5, counters) != base
+        bumped = [1] + counters[1:]
+        assert calc.counter_line_mac(10, 5, bumped) != base
+
+    def test_computation_counting(self, calc):
+        calc.reset_count()
+        calc.data_mac(0, 0, b"x" * 64)
+        calc.counter_line_mac(1, 0, [0] * 8)
+        assert calc.computations == 2
+
+    def test_reset(self, calc):
+        calc.data_mac(0, 0, b"x" * 64)
+        calc.reset_count()
+        assert calc.computations == 0
+
+    def test_deterministic(self, calc):
+        assert calc.data_mac(5, 9, b"z" * 64) == calc.data_mac(5, 9, b"z" * 64)
+
+
+class TestMacBudget:
+    def test_scoped_counting(self, calc):
+        calc.data_mac(0, 0, b"a" * 64)  # outside the scope
+        with MacBudget(calc) as budget:
+            calc.data_mac(0, 1, b"a" * 64)
+            calc.data_mac(0, 2, b"a" * 64)
+        assert budget.spent == 2
+
+    def test_nested_scopes(self, calc):
+        with MacBudget(calc) as outer:
+            calc.data_mac(0, 0, b"b" * 64)
+            with MacBudget(calc) as inner:
+                calc.data_mac(0, 1, b"b" * 64)
+            assert inner.spent == 1
+        assert outer.spent == 2
+
+    def test_zero_spend(self, calc):
+        with MacBudget(calc) as budget:
+            pass
+        assert budget.spent == 0

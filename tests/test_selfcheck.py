@@ -1,0 +1,26 @@
+"""Self-check harness tests."""
+
+from repro.harness.selfcheck import CHECKS, selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self):
+        results = selfcheck(quiet=True)
+        assert all(value == "ok" for value in results.values()), results
+
+    def test_covers_all_planes(self):
+        names = " ".join(name for name, _ in CHECKS)
+        for keyword in ("crypto", "correction", "attack", "timing", "reliability"):
+            assert keyword in names
+
+    def test_failure_is_reported_not_raised(self, monkeypatch):
+        import repro.harness.selfcheck as module
+
+        def broken():
+            raise AssertionError("intentional")
+
+        monkeypatch.setattr(
+            module, "CHECKS", [("broken check", broken)]
+        )
+        results = module.selfcheck(quiet=True)
+        assert results["broken check"].startswith("FAILED")

@@ -1,0 +1,39 @@
+"""Tests for the PoisonIvy-style speculative-verification extension."""
+
+import pytest
+
+from repro.secure.designs import (
+    SGX_O,
+    SGX_O_SPECULATIVE,
+    SYNERGY,
+    SYNERGY_SPECULATIVE,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+
+SMALL = SystemConfig(accesses_per_core=1_500)
+
+
+class TestSpeculativeDesigns:
+    def test_descriptors(self):
+        assert SGX_O_SPECULATIVE.speculative_verification
+        assert SYNERGY_SPECULATIVE.speculative_verification
+        assert not SGX_O.speculative_verification
+
+    def test_speculation_never_hurts(self):
+        precise = run_workload(SGX_O, "mcf", SMALL)
+        speculative = run_workload(SGX_O_SPECULATIVE, "mcf", SMALL)
+        assert speculative.ipc >= precise.ipc
+
+    def test_same_traffic_as_precise(self):
+        # Speculation changes latency, not bandwidth: identical traffic.
+        precise = run_workload(SGX_O, "gcc", SMALL)
+        speculative = run_workload(SGX_O_SPECULATIVE, "gcc", SMALL)
+        assert speculative.traffic == precise.traffic
+
+    def test_synergy_gain_survives_speculation(self):
+        base = run_workload(SGX_O_SPECULATIVE, "mcf", SMALL)
+        synergy = run_workload(SYNERGY_SPECULATIVE, "mcf", SMALL)
+        # Bandwidth-bound: removing MAC traffic still wins under
+        # speculation (the paper's §VII-B argument).
+        assert synergy.ipc > base.ipc

@@ -1,0 +1,183 @@
+"""Secure timing-engine tests: metadata traffic expansion per design."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.dram.controller import MemoryController
+from repro.dram.timing import MemoryConfig
+from repro.secure.designs import (
+    IVEC,
+    LOTECC,
+    LOTECC_COALESCED,
+    NON_SECURE,
+    SGX,
+    SGX_O,
+    SYNERGY,
+    CounterMode,
+)
+from repro.secure.timing_engine import SecureTimingEngine, TimingMetadataMap
+
+
+def make_engine(design, num_data_lines=1 << 20):
+    controller = MemoryController(MemoryConfig())
+    hierarchy = CacheHierarchy(CacheConfig(llc_bytes=512 * 64, metadata_bytes=64 * 64))
+    engine = SecureTimingEngine(design, hierarchy, controller, num_data_lines)
+    return engine, controller
+
+
+class TestTimingMetadataMap:
+    def test_region_ordering(self):
+        metadata_map = TimingMetadataMap(1 << 20, CounterMode.MONOLITHIC)
+        assert metadata_map.counter_base == 1 << 20
+        assert metadata_map.mac_base > metadata_map.counter_base
+        assert metadata_map.parity_base > metadata_map.mac_base
+        assert metadata_map.tree_level_bases[0] > metadata_map.parity_base
+
+    def test_monolithic_coverage(self):
+        metadata_map = TimingMetadataMap(1 << 20, CounterMode.MONOLITHIC)
+        assert metadata_map.counter_line(0) == metadata_map.counter_line(7)
+        assert metadata_map.counter_line(8) == metadata_map.counter_line(0) + 1
+
+    def test_split_coverage(self):
+        metadata_map = TimingMetadataMap(1 << 20, CounterMode.SPLIT)
+        assert metadata_map.counter_line(0) == metadata_map.counter_line(63)
+        assert metadata_map.num_counter_lines == (1 << 20) // 64
+
+    def test_tree_path_reaches_root(self):
+        metadata_map = TimingMetadataMap(1 << 20, CounterMode.MONOLITHIC)
+        path = metadata_map.tree_path_from_counter(metadata_map.counter_base)
+        assert len(path) == len(metadata_map.tree_level_sizes)
+        assert path[-1] == metadata_map.tree_level_bases[-1]
+
+    def test_tree_path_distinct_levels(self):
+        metadata_map = TimingMetadataMap(1 << 20, CounterMode.MONOLITHIC)
+        path = metadata_map.tree_path_from_counter(metadata_map.counter_base + 100)
+        assert len(set(path)) == len(path)
+
+
+class TestReadExpansion:
+    def test_non_secure_single_request(self):
+        engine, controller = make_engine(NON_SECURE)
+        out = engine.expand_read_miss(0, 0, 0)
+        assert len(out.blocking) == 1
+        assert controller.traffic_by_category() == {"data_read": 1}
+
+    def test_sgx_o_adds_counter_chain_and_mac(self):
+        engine, controller = make_engine(SGX_O)
+        engine.expand_read_miss(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert traffic["data_read"] == 1
+        assert traffic["mac_read"] == 1
+        assert traffic["counter_read"] >= 1  # counter + cold tree walk
+
+    def test_synergy_has_no_mac_traffic(self):
+        engine, controller = make_engine(SYNERGY)
+        engine.expand_read_miss(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert "mac_read" not in traffic
+
+    def test_mac_always_fetched_when_uncached(self):
+        engine, controller = make_engine(SGX_O)
+        engine.expand_read_miss(0, 0, 0)
+        engine.expand_read_miss(0, 1, 0)
+        assert controller.traffic_by_category()["mac_read"] == 2
+
+    def test_counter_cached_after_first_access(self):
+        engine, controller = make_engine(SGX_O)
+        engine.expand_read_miss(0, 0, 0)
+        first = controller.traffic_by_category().get("counter_read", 0)
+        engine.expand_read_miss(1, 1, 0)  # same counter line
+        second = controller.traffic_by_category().get("counter_read", 0)
+        assert second == first
+
+    def test_ivec_walks_mac_tree(self):
+        engine, controller = make_engine(IVEC)
+        engine.expand_read_miss(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        # MAC line + at least one MAC-tree level on a cold walk.
+        assert traffic["mac_read"] >= 2
+
+
+class TestWriteExpansion:
+    def test_synergy_parity_write(self):
+        engine, controller = make_engine(SYNERGY)
+        engine.expand_data_writeback(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert traffic["data_write"] == 1
+        assert traffic["parity_write"] == 1
+
+    def test_sgx_o_mac_update(self):
+        engine, controller = make_engine(SGX_O)
+        engine.expand_data_writeback(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert traffic["mac_write"] == 1
+        assert "parity_write" not in traffic
+
+    def test_lotecc_parity_rmw(self):
+        engine, controller = make_engine(LOTECC)
+        engine.expand_data_writeback(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert traffic["parity_read"] == 1
+        assert traffic["parity_write"] == 1
+
+    def test_lotecc_coalescing_drops_read(self):
+        engine, controller = make_engine(LOTECC_COALESCED)
+        engine.expand_data_writeback(0, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert "parity_read" not in traffic
+        assert traffic["parity_write"] == 1
+
+    def test_counter_rmw_on_write_miss(self):
+        engine, controller = make_engine(SGX_O)
+        engine.expand_data_writeback(0, 0, 0)
+        assert controller.traffic_by_category()["counter_read"] >= 1
+
+    def test_non_secure_write_is_single(self):
+        engine, controller = make_engine(NON_SECURE)
+        engine.expand_data_writeback(0, 0, 0)
+        assert controller.traffic_by_category() == {"data_write": 1}
+
+
+class TestWritebackDispatch:
+    def test_data_victim_gets_full_expansion(self):
+        engine, controller = make_engine(SYNERGY)
+        engine.writeback(5, 0, 0)
+        traffic = controller.traffic_by_category()
+        assert traffic["data_write"] == 1
+        assert traffic["parity_write"] == 1
+
+    def test_metadata_victim_plain_write(self):
+        engine, controller = make_engine(SYNERGY)
+        counter_line = engine.map.counter_line(0)
+        engine.writeback(counter_line, 0, 0)
+        assert controller.traffic_by_category() == {"counter_write": 1}
+
+    def test_tree_victim_classified_as_counter(self):
+        engine, controller = make_engine(SYNERGY)
+        tree_line = engine.map.tree_level_bases[0]
+        engine.writeback(tree_line, 0, 0)
+        assert controller.traffic_by_category() == {"counter_write": 1}
+
+    def test_none_is_noop(self):
+        engine, controller = make_engine(SYNERGY)
+        engine.writeback(None, 0, 0)
+        assert controller.traffic_by_category() == {}
+
+
+class TestWarmPath:
+    def test_warm_generates_no_traffic(self):
+        engine, controller = make_engine(SGX_O)
+        for line in range(50):
+            engine.warm_data_access(line, is_write=False)
+        assert controller.traffic_by_category() == {}
+
+    def test_warm_fills_caches(self):
+        engine, controller = make_engine(SGX_O)
+        engine.warm_data_access(0, is_write=False)
+        engine.expand_read_miss(8, 0, 0)  # shares nothing with line 0...
+        # but line 0's counter line covers lines 0-7; line 8 differs.
+        engine2, controller2 = make_engine(SGX_O)
+        engine2.warm_data_access(0, is_write=False)
+        engine2.expand_read_miss(1, 0, 0)  # same counter line as 0
+        t1 = controller2.traffic_by_category()
+        assert t1.get("counter_read", 0) == 0  # warmed counter line hits

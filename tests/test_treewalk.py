@@ -1,0 +1,129 @@
+"""Tests for the upward-detect / downward-correct tree traversal."""
+
+import pytest
+
+from repro.core.synergy import SynergyMemory
+from repro.dimm.faults import ChipFault, FaultKind
+from repro.secure.errors import AttackDetected
+
+
+@pytest.fixture
+def memory(keys):
+    memory = SynergyMemory(64, keys=keys)
+    for line in range(8):
+        memory.write(line, bytes([line]) * 64)
+    return memory
+
+
+class TestAnchoring:
+    def test_cached_leaf_anchors_immediately(self, memory):
+        memory.read(0)  # warm
+        _trusted, report = memory.walk.verified_chain(0)
+        assert report.anchor_index == 0
+        assert report.levels_visited == 0
+
+    def test_cold_walk_visits_all_levels(self, memory):
+        memory.tree.cache.clear()
+        _trusted, report = memory.walk.verified_chain(0)
+        chain_length = len(memory.layout.verification_chain(0))
+        assert report.levels_visited == chain_length
+        assert report.anchor_index == chain_length  # anchored at root
+
+    def test_partial_cache_anchors_midway(self, memory):
+        memory.read(0)  # everything cached
+        counter_line = memory.layout.counter_line(0)
+        memory.tree.cache.invalidate(counter_line)
+        _trusted, report = memory.walk.verified_chain(0)
+        assert report.anchor_index == 1  # tree level 0 still cached
+
+
+class TestTrustedValues:
+    def test_leaf_counters_returned(self, memory):
+        memory.tree.cache.clear()
+        trusted, _report = memory.walk.verified_chain(0)
+        counter_line = memory.layout.counter_line(0)
+        assert trusted[counter_line][0] == 1  # one write to line 0
+
+    def test_full_walk_covers_whole_chain(self, memory):
+        memory.tree.cache.clear()
+        trusted, _report = memory.walk.verified_chain(0, full=True)
+        for address, _slot in memory.layout.verification_chain(0):
+            assert address in trusted
+
+    def test_partial_walk_skips_above_anchor(self, memory):
+        memory.read(0)
+        counter_line = memory.layout.counter_line(0)
+        memory.tree.cache.invalidate(counter_line)
+        trusted, _report = memory.walk.verified_chain(0)
+        assert counter_line in trusted
+
+
+class TestMismatchLogging:
+    def test_clean_walk_no_mismatches(self, memory):
+        memory.tree.cache.clear()
+        _trusted, report = memory.walk.verified_chain(0)
+        assert report.mismatched_levels == []
+        assert report.corrected_chips == {}
+
+    def test_corrupted_leaf_logged_and_corrected(self, memory):
+        counter_line = memory.layout.counter_line(0)
+        memory.dimm.inject_fault(
+            2, ChipFault(FaultKind.SINGLE_WORD, line_address=counter_line, seed=4)
+        )
+        memory.tree.cache.clear()
+        trusted, report = memory.walk.verified_chain(0)
+        assert 0 in report.mismatched_levels
+        assert report.corrected_chips.get(counter_line) == 2
+        assert trusted[counter_line][0] == 1  # value restored
+
+    def test_corrupted_tree_level_corrected(self, memory):
+        tree_line = memory.layout.tree_line(0, 0)
+        memory.dimm.inject_fault(
+            5, ChipFault(FaultKind.SINGLE_WORD, line_address=tree_line, seed=6)
+        )
+        memory.tree.cache.clear()
+        _trusted, report = memory.walk.verified_chain(0)
+        assert report.corrected_chips.get(tree_line) == 5
+
+    def test_correction_scrubs_to_memory(self, memory):
+        counter_line = memory.layout.counter_line(0)
+        fault = ChipFault(FaultKind.SINGLE_WORD, line_address=counter_line, seed=4)
+        memory.dimm.inject_fault(2, fault)
+        memory.tree.cache.clear()
+        memory.walk.verified_chain(0)
+        memory.dimm.clear_faults()
+        memory.tree.cache.clear()
+        # After scrub + fault removal, a fresh walk sees no mismatch.
+        _trusted, report = memory.walk.verified_chain(0)
+        assert report.mismatched_levels == []
+
+
+class TestAttackPaths:
+    def test_two_chip_counter_corruption_is_attack(self, memory):
+        counter_line = memory.layout.counter_line(0)
+        memory.dimm.inject_fault(
+            1, ChipFault(FaultKind.SINGLE_WORD, line_address=counter_line, seed=1)
+        )
+        memory.dimm.inject_fault(
+            4, ChipFault(FaultKind.SINGLE_WORD, line_address=counter_line, seed=2)
+        )
+        memory.tree.cache.clear()
+        with pytest.raises(AttackDetected):
+            memory.walk.verified_chain(0)
+
+    def test_replayed_counter_line_is_attack(self, memory):
+        counter_line = memory.layout.counter_line(0)
+        old_lanes = memory.dimm.read_line(counter_line)
+        memory.write(0, b"new" + bytes(61))  # bumps the counter + tree
+        memory.dimm.write_line(counter_line, old_lanes)
+        memory.tree.cache.clear()
+        with pytest.raises(AttackDetected):
+            memory.walk.verified_chain(0)
+
+    def test_mac_computation_accounting(self, memory):
+        memory.tree.cache.clear()
+        _trusted, report = memory.walk.verified_chain(0)
+        # Clean cold walk: one check per level on the way up, one per level
+        # downward (implementation recomputes during trust establishment).
+        chain_length = len(memory.layout.verification_chain(0))
+        assert report.mac_computations >= chain_length

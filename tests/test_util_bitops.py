@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_count,
+    bytes_xor,
+    extract_bits,
+    insert_bits,
+    int_from_bytes_be,
+    int_to_bytes_be,
+    rotate_left,
+)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_powers_of_two(self):
+        for shift in range(64):
+            assert bit_count(1 << shift) == 1
+
+    def test_all_ones(self):
+        assert bit_count((1 << 64) - 1) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_matches_bin_count(self, value):
+        assert bit_count(value) == bin(value).count("1")
+
+
+class TestRotateLeft:
+    def test_simple(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+
+    def test_wraparound(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_is_identity(self):
+        assert rotate_left(0xAB, 8, 8) == 0xAB
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            rotate_left(1, 1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_inverse_rotation(self, value, amount):
+        rotated = rotate_left(value, amount, 32)
+        back = rotate_left(rotated, (32 - amount % 32) % 32, 32)
+        assert back == value
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_preserves_popcount(self, value):
+        assert bit_count(rotate_left(value, 5, 16)) == bit_count(value)
+
+
+class TestExtractInsertBits:
+    def test_extract_low(self):
+        assert extract_bits(0b110101, 0, 3) == 0b101
+
+    def test_extract_middle(self):
+        assert extract_bits(0b110101, 2, 3) == 0b101
+
+    def test_insert_roundtrip(self):
+        value = insert_bits(0, 0b111, 4, 3)
+        assert extract_bits(value, 4, 3) == 0b111
+
+    def test_insert_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            insert_bits(0, 0b1000, 0, 3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(5, -1, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=56),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_insert_then_extract(self, base, offset, length):
+        field = (base >> 3) & ((1 << length) - 1)
+        combined = insert_bits(base, field, offset, length)
+        assert extract_bits(combined, offset, length) == field
+
+
+class TestBytesXor:
+    def test_self_inverse(self):
+        a = bytes(range(16))
+        b = bytes(range(16, 32))
+        assert bytes_xor(bytes_xor(a, b), b) == a
+
+    def test_zero_identity(self):
+        a = b"\x12\x34"
+        assert bytes_xor(a, bytes(2)) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bytes_xor(b"\x00", b"\x00\x00")
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_xor_with_self_is_zero(self, data):
+        assert bytes_xor(data, data) == bytes(len(data))
+
+
+class TestIntBytesConversion:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        assert int_from_bytes_be(int_to_bytes_be(value, 8)) == value
+
+    def test_big_endian_order(self):
+        assert int_to_bytes_be(0x0102, 2) == b"\x01\x02"

@@ -1,0 +1,128 @@
+"""Tests for the statistics infrastructure."""
+
+import pytest
+
+from repro.util.stats import Counter, Histogram, RatioStat, StatGroup
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_no_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRatioStat:
+    def test_empty_ratio_zero(self):
+        assert RatioStat("r").ratio == 0.0
+
+    def test_ratio(self):
+        ratio = RatioStat("r")
+        for hit in (True, True, False, True):
+            ratio.record(hit)
+        assert ratio.ratio == pytest.approx(0.75)
+
+    def test_reset(self):
+        ratio = RatioStat("r")
+        ratio.record(True)
+        ratio.reset()
+        assert ratio.denominator == 0
+
+
+class TestHistogram:
+    def test_mean(self):
+        histogram = Histogram("h")
+        for value in (1, 2, 3):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_weighted_record(self):
+        histogram = Histogram("h")
+        histogram.record(10, weight=3)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(10.0)
+
+    def test_percentile(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.record(value)
+        assert histogram.percentile(0.5) == 50
+        assert histogram.percentile(1.0) == 100
+
+    def test_percentile_bounds(self):
+        histogram = Histogram("h")
+        histogram.record(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_empty(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.maximum == 0
+        assert histogram.percentile(0.5) == 0
+
+    def test_maximum(self):
+        histogram = Histogram("h")
+        histogram.record(4)
+        histogram.record(17)
+        assert histogram.maximum == 17
+
+    def test_items_sorted(self):
+        histogram = Histogram("h")
+        for value in (5, 1, 3):
+            histogram.record(value)
+        assert [v for v, _ in histogram.items()] == [1, 3, 5]
+
+
+class TestStatGroup:
+    def test_get_or_create_idempotent(self):
+        group = StatGroup("g")
+        assert group.counter("x") is group.counter("x")
+
+    def test_type_conflict_rejected(self):
+        group = StatGroup("g")
+        group.counter("x")
+        with pytest.raises(TypeError):
+            group.ratio("x")
+
+    def test_iteration_sorted(self):
+        group = StatGroup("g")
+        group.counter("b")
+        group.counter("a")
+        assert [name for name, _ in group] == ["a", "b"]
+
+    def test_contains(self):
+        group = StatGroup("g")
+        group.counter("x")
+        assert "x" in group
+        assert "y" not in group
+
+    def test_as_dict(self):
+        group = StatGroup("g")
+        group.counter("c").add(2)
+        group.ratio("r").record(True)
+        group.histogram("h").record(4)
+        flat = group.as_dict()
+        assert flat == {"c": 2.0, "r": 1.0, "h": 4.0}
+
+    def test_reset_all(self):
+        group = StatGroup("g")
+        group.counter("c").add(2)
+        group.reset()
+        assert group.counter("c").value == 0

@@ -1,0 +1,75 @@
+"""Tests for unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    CACHELINE_BYTES,
+    GIB,
+    KIB,
+    MIB,
+    gmean,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestConstants:
+    def test_scaling(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_cacheline(self):
+        assert CACHELINE_BYTES == 64
+
+
+class TestPowerOfTwo:
+    def test_true_cases(self):
+        for shift in range(20):
+            assert is_power_of_two(1 << shift)
+
+    def test_false_cases(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+
+
+class TestGmean:
+    def test_identity(self):
+        assert gmean([3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gmean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = gmean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10))
+    def test_scale_invariance(self, values):
+        scaled = gmean([v * 2 for v in values])
+        assert scaled == pytest.approx(2 * gmean(values), rel=1e-9)
+
+    def test_log_definition(self):
+        values = [1.5, 2.5, 3.5]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert gmean(values) == pytest.approx(expected)

@@ -1,0 +1,154 @@
+"""Workload profile and trace-generator tests."""
+
+import pytest
+
+from repro.cpu.trace import MemoryOp
+from repro.workloads.generator import generate_trace, rate_mode_traces
+from repro.workloads.mixes import MIXES
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    GAP_WORKLOADS,
+    SPEC_WORKLOADS,
+    WorkloadProfile,
+    memory_intensive,
+    profile_by_name,
+)
+from repro.workloads.suites import workload_suite
+
+
+class TestProfiles:
+    def test_suite_sizes_match_paper(self):
+        assert len(SPEC_WORKLOADS) == 23
+        assert len(GAP_WORKLOADS) == 6
+        assert len(ALL_WORKLOADS) == 29
+
+    def test_all_memory_intensive(self):
+        # The paper only evaluates >1 access per 1000 instructions.
+        assert len(memory_intensive(1.0)) == 29
+
+    def test_gap_kernels_named(self):
+        names = {p.name for p in GAP_WORKLOADS}
+        assert names == {"pr-twi", "pr-web", "cc-twi", "cc-web", "bc-twi", "bc-web"}
+
+    def test_lookup(self):
+        assert profile_by_name("mcf").suite == "specint"
+        with pytest.raises(KeyError):
+            profile_by_name("nonexistent")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "spec", -1.0, 0.2, 10, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "spec", 1.0, 2.0, 10, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "spec", 1.0, 0.2, 10, 0.7, 0.7)
+
+    def test_random_fraction(self):
+        profile = WorkloadProfile("x", "spec", 1.0, 0.2, 10, 0.3, 0.3)
+        assert profile.random_fraction == pytest.approx(0.4)
+
+    def test_mixes_reference_known_workloads(self):
+        assert len(MIXES) == 6
+        for names in MIXES.values():
+            assert len(names) == 4
+            for name in names:
+                profile_by_name(name)
+
+
+class TestSuites:
+    def test_scopes(self):
+        assert len(workload_suite("all")) == 29
+        assert len(workload_suite("spec")) == 23
+        assert len(workload_suite("gap")) == 6
+        assert len(workload_suite("smoke")) == 3
+        assert len(workload_suite("representative")) == 9
+
+    def test_unknown_scope(self):
+        with pytest.raises(ValueError):
+            workload_suite("bogus")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        profile = profile_by_name("mcf")
+        a = generate_trace(profile, 500)
+        b = generate_trace(profile, 500)
+        assert [(r.gap, r.op, r.line_address) for r in a] == [
+            (r.gap, r.op, r.line_address) for r in b
+        ]
+
+    def test_cores_differ(self):
+        profile = profile_by_name("mcf")
+        a = generate_trace(profile, 500, core_id=0)
+        b = generate_trace(profile, 500, core_id=1)
+        assert [r.line_address for r in a] != [r.line_address for r in b]
+
+    def test_seed_salt_differs(self):
+        profile = profile_by_name("mcf")
+        a = generate_trace(profile, 500, seed_salt="trace")
+        b = generate_trace(profile, 500, seed_salt="warmup")
+        assert [r.line_address for r in a] != [r.line_address for r in b]
+
+    def test_apki_calibration(self):
+        profile = profile_by_name("lbm")  # apki=28
+        trace = generate_trace(profile, 4000)
+        assert trace.accesses_per_kilo_instruction == pytest.approx(
+            profile.apki, rel=0.15
+        )
+
+    def test_write_fraction_calibration(self):
+        profile = profile_by_name("hmmer")  # wf=0.40
+        trace = generate_trace(profile, 4000)
+        assert trace.write_fraction == pytest.approx(profile.write_fraction, abs=0.05)
+
+    def test_base_line_offsets(self):
+        profile = profile_by_name("gcc")
+        trace = generate_trace(profile, 200, base_line=1_000_000)
+        assert all(r.line_address >= 1_000_000 for r in trace)
+
+    def test_footprint_respected(self):
+        profile = profile_by_name("gobmk")  # 12 MiB footprint
+        trace = generate_trace(profile, 3000)
+        max_line = 12 * 1024 * 1024 // 64
+        assert all(r.line_address < max_line for r in trace)
+
+    def test_scale_divisor_shrinks_footprint(self):
+        profile = profile_by_name("mcf")
+        full = generate_trace(profile, 2000)
+        scaled = generate_trace(profile, 2000, scale_divisor=16)
+        assert max(r.line_address for r in scaled) < max(
+            r.line_address for r in full
+        )
+
+    def test_sequential_workload_has_runs(self):
+        profile = profile_by_name("libquantum")  # 95% sequential
+        trace = generate_trace(profile, 2000)
+        addresses = [r.line_address for r in trace]
+        consecutive = sum(
+            1 for a, b in zip(addresses, addresses[1:]) if b == a + 1
+        )
+        assert consecutive > len(addresses) * 0.5
+
+    def test_hot_set_reuse(self):
+        profile = profile_by_name("gobmk")  # 60% hot accesses
+        # Scaled footprints shrink the hot set below the access count, so
+        # reuse becomes visible in distinct-address statistics.
+        trace = generate_trace(profile, 4000, scale_divisor=16)
+        addresses = [r.line_address for r in trace]
+        assert len(set(addresses)) < len(addresses) * 0.6
+
+    def test_invalid_parameters(self):
+        profile = profile_by_name("mcf")
+        with pytest.raises(ValueError):
+            generate_trace(profile, 0)
+        with pytest.raises(ValueError):
+            generate_trace(profile, 10, scale_divisor=0)
+
+    def test_rate_mode_disjoint_footprints(self):
+        traces = rate_mode_traces(profile_by_name("gcc"), 200, num_cores=4)
+        ranges = []
+        for trace in traces:
+            addresses = [r.line_address for r in trace]
+            ranges.append((min(addresses), max(addresses)))
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2

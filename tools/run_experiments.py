@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Run every experiment at a given scale and dump results as JSON.
+
+Used to produce the paper-vs-measured numbers recorded in EXPERIMENTS.md:
+
+    python tools/run_experiments.py default experiments_default.json
+"""
+
+import json
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.scales import resolve_scale
+
+UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
+
+
+def main() -> int:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "default"
+    output_path = sys.argv[2] if len(sys.argv) > 2 else "experiments.json"
+    scale = resolve_scale(scale_name)
+    results = {"scale": scale_name}
+    for name, function in sorted(EXPERIMENTS.items()):
+        started = time.time()
+        if name in UNSCALED:
+            value = function(quiet=True)
+        else:
+            value = function(scale, quiet=True)
+        elapsed = time.time() - started
+        results[name] = {"result": _jsonable(value), "seconds": round(elapsed, 1)}
+        print("%s done in %.1fs" % (name, elapsed), flush=True)
+    with open(output_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print("wrote", output_path)
+    return 0
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+if __name__ == "__main__":
+    sys.exit(main())
