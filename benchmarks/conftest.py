@@ -3,17 +3,35 @@
 Every bench regenerates one paper table/figure at the ``quick`` scale (so
 ``pytest benchmarks/ --benchmark-only`` terminates in minutes) and prints
 the paper-style rows once. Set ``REPRO_SCALE=default`` or ``full`` for
-higher-fidelity numbers.
+higher-fidelity numbers, and ``REPRO_JOBS=N`` to fan grid cells over N
+worker processes.
+
+The session runs against a *fresh* run-cache directory (unless
+``REPRO_CACHE_DIR`` pins one): cells shared between figures — the SGX_O
+baseline recurs in Figs. 8/9/10/13/14 — are computed once per session,
+while nothing stale from a previous code version can leak into timings.
 """
+
+import os
 
 import pytest
 
 from repro.harness.scales import resolve_scale
+from repro.parallel import overridden
 
 
 @pytest.fixture(scope="session")
 def scale():
     """Benchmark scale: quick unless overridden via REPRO_SCALE."""
-    import os
-
     return resolve_scale(os.environ.get("REPRO_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def execution_context(tmp_path_factory):
+    """Session-wide jobs + isolated run-cache for every bench."""
+    jobs = max(1, int(os.environ.get("REPRO_JOBS", "1") or 1))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(
+        tmp_path_factory.mktemp("runcache")
+    )
+    with overridden(jobs=jobs, cache_enabled=True, cache_dir=cache_dir):
+        yield

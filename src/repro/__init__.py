@@ -27,6 +27,8 @@ Reliability plane:
 Harness:
 
 * :mod:`repro.harness.experiments` — one entry point per paper figure/table.
+* :mod:`repro.parallel` — process-pool fan-out of experiment grids and
+  Monte-Carlo shards, plus the content-addressed on-disk run cache.
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,8 @@ magic constants, which both documents the math and keeps the file honest.
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 _BLOCK_BYTES = 16
 _ROUNDS = 10
@@ -101,6 +102,17 @@ def _expand_key(key: bytes) -> List[List[int]]:
     return round_keys
 
 
+@lru_cache(maxsize=256)
+def _expanded_key(key: bytes) -> Tuple[Tuple[int, ...], ...]:
+    """Memoised key schedule.
+
+    The engine builds fresh cipher/MAC objects per design x workload cell
+    (and per pool worker), always from the same handful of processor keys
+    — expanding each key once per process removes that recurring cost.
+    """
+    return tuple(tuple(rk) for rk in _expand_key(key))
+
+
 def _sub_bytes(state: List[int]) -> None:
     for index in range(16):
         state[index] = _SBOX[state[index]]
@@ -165,7 +177,7 @@ class Aes128:
     block_bytes = _BLOCK_BYTES
 
     def __init__(self, key: bytes):
-        self._round_keys = _expand_key(bytes(key))
+        self._round_keys = _expanded_key(bytes(key))
         self._cache: dict = {}
 
     def encrypt_block(self, plaintext: bytes) -> bytes:

@@ -9,6 +9,9 @@ on top matches hardware behaviour.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import List, Tuple
+
 _R = 0xE1000000000000000000000000000000  # reduction constant, reflected form
 
 
@@ -59,3 +62,52 @@ def gf128_pow(base: int, exponent: int) -> int:
 
 #: Multiplicative identity of the reflected GHASH field ("1" = x^0).
 GF128_ONE = 1 << 127
+
+
+class Gf128Multiplier:
+    """Table-driven multiplication by a fixed field element ``h``.
+
+    GHASH multiplies every message block by the same subkey ``H``; because
+    the field map ``x -> x * H`` is linear over GF(2), it decomposes into
+    16 per-byte-position lookup tables of 256 entries each. One multiply
+    becomes 16 table reads + XORs instead of 128 shift-and-reduce steps —
+    the standard software-GCM technique (e.g. Shoup's 8-bit tables).
+    """
+
+    def __init__(self, h: int):
+        # basis[j] = h * x^j: repeated multiply-by-x, which in the
+        # reflected representation is a right shift plus conditional _R.
+        basis: List[int] = []
+        value = h
+        for _ in range(128):
+            basis.append(value)
+            value = (value >> 1) ^ _R if value & 1 else value >> 1
+        # Int bit k of the multiplicand contributes basis[127 - k]; byte
+        # position p (p=0 most significant) spans bits 120-8p .. 127-8p,
+        # so in-byte bit i maps to exponent 7 + 8p - i.
+        tables: List[Tuple[int, ...]] = []
+        for position in range(16):
+            table = [0] * 256
+            for bit in range(8):
+                table[1 << bit] = basis[7 + 8 * position - bit]
+            for byte in range(1, 256):
+                if byte & (byte - 1):
+                    table[byte] = table[byte & (byte - 1)] ^ table[byte & -byte]
+            tables.append(tuple(table))
+        self._tables = tuple(tables)
+
+    def mul(self, x: int) -> int:
+        """``x * h`` in the reflected GHASH field."""
+        tables = self._tables
+        z = 0
+        shift = 120
+        for position in range(16):
+            z ^= tables[position][(x >> shift) & 0xFF]
+            shift -= 8
+        return z
+
+
+@lru_cache(maxsize=64)
+def multiplier_for(h: int) -> Gf128Multiplier:
+    """Per-subkey multiplier cache: tables are built once per key."""
+    return Gf128Multiplier(h)

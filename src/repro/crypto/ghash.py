@@ -8,27 +8,33 @@ construction the paper assumes for its 64-bit data MACs.
 
 from __future__ import annotations
 
-from repro.crypto.gf128 import block_to_int, gf128_mul, int_to_block
+from repro.crypto.gf128 import block_to_int, int_to_block, multiplier_for
 
 
 class GHash:
-    """GHASH keyed by the 16-byte hash subkey ``H`` (AES_K(0^128))."""
+    """GHASH keyed by the 16-byte hash subkey ``H`` (AES_K(0^128)).
+
+    Multiplication by the fixed subkey uses per-key precomputed tables
+    (:func:`repro.crypto.gf128.multiplier_for`), built once per process
+    for each distinct key and shared by every GHash/GMAC instance.
+    """
 
     def __init__(self, hash_key: bytes):
         if len(hash_key) != 16:
             raise ValueError("GHASH subkey must be 16 bytes")
         self._h = block_to_int(hash_key)
+        self._mul = multiplier_for(self._h).mul
 
     def digest(self, data: bytes) -> bytes:
         """Hash ``data`` (length-prefixed per GCM: appends a length block)."""
         y = 0
-        h = self._h
+        mul = self._mul
         padded = data + b"\x00" * ((16 - len(data) % 16) % 16)
         for offset in range(0, len(padded), 16):
             block = block_to_int(padded[offset : offset + 16])
-            y = gf128_mul(y ^ block, h)
+            y = mul(y ^ block)
         # GCM length block: 64-bit AAD bit length || 64-bit data bit length.
         # We treat the whole input as "AAD" (GMAC usage: no ciphertext).
         length_block = (len(data) * 8).to_bytes(8, "big") + (0).to_bytes(8, "big")
-        y = gf128_mul(y ^ block_to_int(length_block), h)
+        y = mul(y ^ block_to_int(length_block))
         return int_to_block(y)

@@ -2,9 +2,10 @@
 
 Examples::
 
-    synergy-repro fig8                 # headline performance figure
-    synergy-repro fig11 --scale full   # reliability at full Monte-Carlo scale
-    synergy-repro all --scale quick    # everything, smoke scale
+    synergy-repro fig8                        # headline performance figure
+    synergy-repro fig8 --jobs 4               # fan grid cells over 4 processes
+    synergy-repro fig11 --scale full          # reliability, full Monte-Carlo
+    synergy-repro all --scale quick --no-cache  # everything, no result reuse
 """
 
 from __future__ import annotations
@@ -14,11 +15,9 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.harness.experiments import EXPERIMENTS
-from repro.harness.scales import resolve_scale
-
-#: Experiments that take no scale argument (pure tables/arithmetic).
-_UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import render_execution_stats
+from repro.parallel import EXECUTION_STATS, default_jobs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -37,20 +36,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="quick | default | full (or set REPRO_SCALE)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid/Monte-Carlo fan-out "
+        "(default: REPRO_JOBS or 1; this machine has %d CPU(s))"
+        % default_jobs(),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not populate the on-disk run cache",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    cache = False if args.no_cache else None
     for name in names:
-        function = EXPERIMENTS[name]
         print("=" * 72)
         print("Experiment:", name)
         print("=" * 72)
+        EXECUTION_STATS.reset()
         started = time.time()
-        if name in _UNSCALED:
-            function()
-        else:
-            function(resolve_scale(args.scale))
+        run_experiment(name, scale=args.scale, jobs=args.jobs, cache=cache)
         print("[%s finished in %.1fs]" % (name, time.time() - started))
+        if EXECUTION_STATS.cells_executed or EXECUTION_STATS.cache_hits:
+            print(render_execution_stats(EXECUTION_STATS))
         print()
     return 0
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.parallel import overridden
 from repro.harness.report import render_series, render_table
 from repro.harness.scales import Scale, resolve_scale
 from repro.reliability.analytical import (
@@ -566,3 +567,32 @@ EXPERIMENTS = {
     "sdc": ablation_sdc,
     "correction_latency": ablation_correction_latency,
 }
+
+#: Experiments that take no scale argument (pure tables/arithmetic).
+UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
+
+
+def run_experiment(
+    name: str,
+    scale: object = None,
+    quiet: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> object:
+    """Run one registered experiment under an execution-context override.
+
+    ``jobs``/``cache`` steer the fan-out and run-cache policy for every
+    ``run_suite``/Monte-Carlo call the experiment makes (``None`` keeps
+    the process defaults). This is the single entry point the CLI,
+    ``tools/run_experiments.py`` and ``tools/bench_snapshot.py`` share.
+    """
+    function = EXPERIMENTS[name]
+    changes: Dict[str, object] = {}
+    if jobs is not None:
+        changes["jobs"] = max(1, int(jobs))
+    if cache is not None:
+        changes["cache_enabled"] = bool(cache)
+    with overridden(**changes):
+        if name in UNSCALED:
+            return function(quiet=quiet)
+        return function(resolve_scale(scale), quiet=quiet)

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+if TYPE_CHECKING:
+    from repro.parallel.instrument import ExecutionStats
 
 
 def render_table(
@@ -47,6 +50,35 @@ def render_series(
             row.append("-" if value is None else value_format % value)
         rows.append(row)
     return render_table(headers, rows, title)
+
+
+def render_execution_stats(stats: "ExecutionStats") -> str:
+    """One-line-per-metric summary of the parallel execution layer.
+
+    Shows cache hit/miss counts, cell execution totals, pool utilisation
+    and the slowest cells — the numbers that tell you whether ``--jobs``
+    and the run cache are actually paying off.
+    """
+    cells = stats.cells_executed
+    lines = [
+        "execution: %d cell(s) run, %d cache hit(s), %d miss(es)"
+        % (cells, stats.cache_hits, stats.cache_misses)
+    ]
+    if cells:
+        lines.append(
+            "timing: %.1fs busy over %.1fs span, utilisation %.0f%%"
+            % (
+                stats.busy_seconds,
+                stats.span_seconds,
+                100 * stats.worker_utilisation,
+            )
+        )
+        slowest = ", ".join(
+            "%s=%.1fs" % (label, seconds)
+            for label, seconds in stats.slowest_cells(3)
+        )
+        lines.append("slowest cells: " + slowest)
+    return "\n".join(lines)
 
 
 def _fmt(cell: object) -> str:

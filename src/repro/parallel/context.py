@@ -1,0 +1,77 @@
+"""Process-wide execution policy: worker count and run-cache settings.
+
+Every fan-out point (``sim.runner.run_suite``, the Monte-Carlo shard loop)
+resolves its ``jobs``/``cache`` arguments against one process-global
+:class:`ExecutionContext`, so the CLI flags (``--jobs``, ``--no-cache``)
+and environment overrides (``REPRO_JOBS``, ``REPRO_CACHE``,
+``REPRO_CACHE_DIR``) steer every experiment without threading parameters
+through each figure function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How experiment cells execute in this process."""
+
+    jobs: int = 1  #: worker processes for grid/shard fan-out
+    cache_enabled: bool = True  #: consult/populate the on-disk run cache
+    cache_dir: Optional[str] = None  #: None -> default location
+
+
+def default_jobs() -> int:
+    """All available CPUs (the ``--jobs $(nproc)`` value)."""
+    return os.cpu_count() or 1
+
+
+def _from_env() -> ExecutionContext:
+    jobs = os.environ.get("REPRO_JOBS")
+    cache = os.environ.get("REPRO_CACHE", "1")
+    return ExecutionContext(
+        jobs=max(1, int(jobs)) if jobs else 1,
+        cache_enabled=cache.lower() not in ("0", "false", "no", "off"),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+
+
+_CONTEXT: Optional[ExecutionContext] = None
+
+
+def get_context() -> ExecutionContext:
+    """The active context (built from the environment on first use)."""
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = _from_env()
+    return _CONTEXT
+
+
+def configure(**changes: object) -> ExecutionContext:
+    """Permanently change fields of the active context (CLI entry points)."""
+    global _CONTEXT
+    _CONTEXT = replace(get_context(), **changes)
+    return _CONTEXT
+
+
+@contextlib.contextmanager
+def overridden(**changes: object) -> Iterator[ExecutionContext]:
+    """Temporarily override context fields (tests, benchmarks, helpers)."""
+    global _CONTEXT
+    saved = get_context()
+    _CONTEXT = replace(saved, **changes)
+    try:
+        yield _CONTEXT
+    finally:
+        _CONTEXT = saved
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """An explicit ``jobs`` argument wins; otherwise the context's."""
+    if jobs is None:
+        return get_context().jobs
+    return max(1, int(jobs))

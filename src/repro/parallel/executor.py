@@ -1,0 +1,73 @@
+"""Deterministic fan-out of experiment cells over a process pool.
+
+``parallel_map`` is the one primitive every grid/shard loop uses: it runs
+``fn`` over ``items`` with ``jobs`` worker processes and returns results in
+*submission* order, never completion order — so a parallel run merges into
+exactly the table a serial run would build. Determinism of the values
+themselves is the callee's job (every cell derives its RNG streams from
+explicit seeds, not shared state).
+
+``fn`` must be a module-level function and each item picklable (the
+standard ``ProcessPoolExecutor`` contract).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.parallel.instrument import EXECUTION_STATS, ExecutionStats
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _timed_call(task: Tuple[Callable[[_T], _R], _T]) -> Tuple[_R, float]:
+    """Worker-side wrapper: run one cell and report its wall time."""
+    fn, item = task
+    started = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - started
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: int = 1,
+    labels: Optional[Sequence[str]] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> List[_R]:
+    """Map ``fn`` over ``items`` with ``jobs`` processes, submission-ordered.
+
+    ``jobs <= 1`` (or a single item) runs inline in this process — the
+    serial path and the parallel path execute the identical per-item code,
+    which is what makes the golden determinism tests meaningful.
+    """
+    items = list(items)
+    if labels is None:
+        labels = [str(index) for index in range(len(items))]
+    stats = stats if stats is not None else EXECUTION_STATS
+    workers = min(max(1, int(jobs)), len(items)) if items else 1
+
+    span_started = time.perf_counter()
+    outputs: List[_R] = []
+    if workers <= 1:
+        for item, label in zip(items, labels):
+            result, elapsed = _timed_call((fn, item))
+            stats.record_cell(label, elapsed)
+            outputs.append(result)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(fn, item) for item in items]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map yields in submission order regardless of which
+            # worker finishes first: the deterministic-merge guarantee.
+            for label, (result, elapsed) in zip(
+                labels, pool.map(_timed_call, tasks)
+            ):
+                stats.record_cell(label, elapsed)
+                outputs.append(result)
+    if items:
+        stats.record_map(workers, time.perf_counter() - span_started)
+    return outputs

@@ -1,0 +1,89 @@
+"""Timing and cache instrumentation for the parallel execution layer.
+
+One process-global :class:`ExecutionStats` accumulates per-cell wall times,
+cache hit/miss counters and pool utilisation; the CLI renders a summary
+after each experiment (``repro.harness.report.render_execution_stats``)
+and ``tools/bench_snapshot.py`` persists it alongside wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class ExecutionStats:
+    """Counters for one experiment's worth of cell executions."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters (the CLI resets between experiments)."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: (label, seconds) per executed cell, in submission order
+        self.cell_times: List[Tuple[str, float]] = []
+        #: wall-clock spans of the fan-out calls and the jobs they used
+        self.map_spans: List[Tuple[int, float]] = []
+
+    # -- recording (called by runcache / executor) --------------------------
+
+    def record_cache_hit(self, label: str = "") -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self, label: str = "") -> None:
+        self.cache_misses += 1
+
+    def record_cell(self, label: str, seconds: float) -> None:
+        self.cell_times.append((label, seconds))
+
+    def record_map(self, jobs: int, span_seconds: float) -> None:
+        self.map_spans.append((jobs, span_seconds))
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def cells_executed(self) -> int:
+        """Cells actually simulated (cache misses that ran)."""
+        return len(self.cell_times)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-occupied time across all cells."""
+        return sum(seconds for _, seconds in self.cell_times)
+
+    @property
+    def span_seconds(self) -> float:
+        """Wall-clock time inside fan-out calls."""
+        return sum(span for _, span in self.map_spans)
+
+    @property
+    def worker_utilisation(self) -> float:
+        """busy / (workers x span): 1.0 means the pool never idled."""
+        capacity = sum(jobs * span for jobs, span in self.map_spans)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def slowest_cells(self, count: int = 5) -> List[Tuple[str, float]]:
+        """The ``count`` longest-running cells (for hot-spot reports)."""
+        return sorted(self.cell_times, key=lambda item: -item[1])[:count]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (bench snapshots, run_experiments dumps)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cells_executed": self.cells_executed,
+            "busy_seconds": round(self.busy_seconds, 3),
+            "span_seconds": round(self.span_seconds, 3),
+            "worker_utilisation": round(self.worker_utilisation, 3),
+            "slowest_cells": [
+                {"cell": label, "seconds": round(seconds, 3)}
+                for label, seconds in self.slowest_cells()
+            ],
+        }
+
+
+#: Process-global collector used by default everywhere.
+EXECUTION_STATS = ExecutionStats()

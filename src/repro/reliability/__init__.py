@@ -16,7 +16,11 @@
 
 from repro.reliability.fitrates import FAULT_MODES, FaultMode, total_fit_per_chip
 from repro.reliability.faults import FaultInstance, faults_overlap
-from repro.reliability.montecarlo import MonteCarloConfig, simulate_failure_probability
+from repro.reliability.montecarlo import (
+    MonteCarloConfig,
+    simulate_failure_probability,
+    simulate_shard,
+)
 from repro.reliability.schemes import (
     CHIPKILL_SCHEME,
     IVEC_SCHEME,
@@ -33,6 +37,7 @@ __all__ = [
     "faults_overlap",
     "MonteCarloConfig",
     "simulate_failure_probability",
+    "simulate_shard",
     "ProtectionScheme",
     "SECDED_SCHEME",
     "CHIPKILL_SCHEME",

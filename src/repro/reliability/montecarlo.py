@@ -14,19 +14,29 @@ Two implementations share the same sampling logic:
   numpy fast path for the (overwhelmingly common) 0/1-fault devices and
   the explicit predicate only for multi-fault devices. This is how the
   billion-device scale of the paper becomes tractable in Python.
+
+The device population is partitioned into fixed-size *shards* whose RNG
+streams derive from ``(seed, shard_id)`` alone — never from execution
+order — so running shards serially, across a process pool, or in any
+interleaving produces bit-identical failure counts. ``jobs``/``cache``
+default to the process execution context (see ``repro.parallel``), and
+finished curves land in the content-addressed run cache so Fig. 11 and
+the scrub-interval sweep share work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.parallel import parallel_map, resolve_cache, resolve_jobs
+from repro.parallel.runcache import RunCache, cache_key
 from repro.reliability.faults import ChipGeometry, FaultInstance
 from repro.reliability.fitrates import FAULT_MODES, FaultGranularity, FaultMode
 from repro.reliability.schemes import ProtectionScheme
-from repro.util.rng import DeterministicRng
+from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.units import HOURS_PER_YEAR
 
 
@@ -41,11 +51,27 @@ class MonteCarloConfig:
     scrub_interval_hours: float = 24.0
     geometry: ChipGeometry = field(default_factory=ChipGeometry)
     seed: int = 2018
+    #: Devices per deterministic RNG shard. Part of the experiment's
+    #: identity: the same (seed, shard_devices) pair reproduces the same
+    #: population no matter how many workers simulate it.
+    shard_devices: int = 50_000
 
     @property
     def lifetime_hours(self) -> float:
         """Device lifetime in hours."""
         return self.lifetime_years * HOURS_PER_YEAR
+
+    def shards(self) -> List[Tuple[int, int]]:
+        """The (shard_id, device_count) partition of the population."""
+        out: List[Tuple[int, int]] = []
+        remaining = self.devices
+        shard_id = 0
+        while remaining > 0:
+            size = min(self.shard_devices, remaining)
+            out.append((shard_id, size))
+            remaining -= size
+            shard_id += 1
+        return out
 
 
 def _sample_fault(
@@ -95,23 +121,31 @@ def simulate_device(
     return scheme.device_fails(sample_device_faults(rng, scheme, config))
 
 
-def simulate_failure_probability(
-    scheme: ProtectionScheme, config: MonteCarloConfig = MonteCarloConfig()
-) -> float:
-    """Probability of device failure over the lifetime (Fig. 11's metric).
+def simulate_shard(
+    scheme: ProtectionScheme,
+    config: MonteCarloConfig,
+    shard_id: int,
+    shard_size: int,
+) -> int:
+    """Failure count among one shard's devices.
 
     Fast path: the number of faults per device is Poisson with a small
     mean, so devices are binned by fault count with numpy. Zero-fault
     devices survive. Single-fault devices fail only under SECDED and only
     for multi-bit faults — a Bernoulli, also vectorised. Multi-fault
     devices (a ~1e-4 fraction) run the explicit predicate.
+
+    All randomness derives from ``(config.seed, shard_id)``, so the shard
+    is a pure function of its arguments — the property that makes serial
+    and process-pool execution bit-identical.
     """
+    shard_seed = derive_seed(config.seed, "mc-shard", shard_id)
     lifetime = config.lifetime_hours
     per_chip_rate = sum(mode.fit for mode in FAULT_MODES) * 1e-9 * lifetime
     device_rate = per_chip_rate * scheme.chips
 
-    rng_np = np.random.default_rng(config.seed)
-    counts = rng_np.poisson(device_rate, config.devices)
+    rng_np = np.random.default_rng(shard_seed)
+    counts = rng_np.poisson(device_rate, shard_size)
 
     failures = 0
     single_fault_devices = int(np.count_nonzero(counts == 1))
@@ -126,7 +160,7 @@ def simulate_failure_probability(
     # Chip-correcting schemes survive any single fault by construction.
 
     multi_indices = np.flatnonzero(counts >= 2)
-    rng = DeterministicRng(config.seed)
+    rng = DeterministicRng(shard_seed)
     mode_weights = [mode.fit for mode in FAULT_MODES]
     for device_index in multi_indices:
         count = int(counts[device_index])
@@ -138,18 +172,69 @@ def simulate_failure_probability(
             faults.append(_sample_fault(device_rng, chip, mode, config))
         if scheme.device_fails(faults):
             failures += 1
-    return failures / config.devices
+    return failures
+
+
+def _shard_task(task: Tuple) -> int:
+    """Module-level worker entry so shards pickle into pool processes."""
+    scheme, config, shard_id, shard_size = task
+    return simulate_shard(scheme, config, shard_id, shard_size)
+
+
+def simulate_failure_probability(
+    scheme: ProtectionScheme,
+    config: MonteCarloConfig = MonteCarloConfig(),
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, str, RunCache] = None,
+) -> float:
+    """Probability of device failure over the lifetime (Fig. 11's metric).
+
+    The device budget is split into deterministic shards (see
+    :meth:`MonteCarloConfig.shards`) fanned over ``jobs`` worker
+    processes; failure counts merge by summation, which is
+    order-independent. The finished probability is cached on disk keyed
+    by (scheme, config, code version).
+    """
+    jobs = resolve_jobs(jobs)
+    run_cache = resolve_cache(cache)
+    label = "mc:%s" % scheme.name
+    key = None
+    if run_cache is not None:
+        key = cache_key("montecarlo", scheme=scheme, config=config)
+        payload = run_cache.get(key, label=label)
+        if payload is not None:
+            return float(payload)
+
+    shards = config.shards()
+    failures = sum(
+        parallel_map(
+            _shard_task,
+            [(scheme, config, shard_id, size) for shard_id, size in shards],
+            jobs=jobs,
+            labels=[
+                "%s/shard%d" % (label, shard_id) for shard_id, _size in shards
+            ],
+        )
+    )
+    probability = failures / config.devices
+    if run_cache is not None and key is not None:
+        run_cache.put(key, probability)
+    return probability
 
 
 def failure_probability_series(
     scheme: ProtectionScheme,
     years: List[float],
     config: MonteCarloConfig = MonteCarloConfig(),
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, str, RunCache] = None,
 ) -> List[float]:
     """Failure probability at several lifetimes (for time-series plots)."""
     from dataclasses import replace
 
     return [
-        simulate_failure_probability(scheme, replace(config, lifetime_years=y))
+        simulate_failure_probability(
+            scheme, replace(config, lifetime_years=y), jobs=jobs, cache=cache
+        )
         for y in years
     ]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.units import gmean
 
@@ -50,23 +50,84 @@ class RunResult:
         """Total memory accesses."""
         return sum(self.traffic.values())
 
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The (design, workload) identity of this cell."""
+        return (self.design, self.workload)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict for the on-disk run cache."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(**payload)
+
 
 class ResultTable:
     """A collection of results with speedup/normalisation queries."""
 
     def __init__(self, results: Iterable[RunResult] = ()):
-        self.results: List[RunResult] = list(results)
+        self.results: List[RunResult] = []
+        self._index: Dict[Tuple[str, str], RunResult] = {}
+        for result in results:
+            self.add(result)
 
     def add(self, result: RunResult) -> None:
-        """Append one result."""
+        """Append one result (first occurrence of a cell wins lookups)."""
         self.results.append(result)
+        self._index.setdefault(result.key, result)
 
     def get(self, design: str, workload: str) -> RunResult:
         """Fetch one result; raises KeyError if absent."""
-        for result in self.results:
-            if result.design == design and result.workload == workload:
-                return result
-        raise KeyError("no result for (%s, %s)" % (design, workload))
+        try:
+            return self._index[(design, workload)]
+        except KeyError:
+            raise KeyError(
+                "no result for (%s, %s)" % (design, workload)
+            ) from None
+
+    def merge(self, *others: "ResultTable") -> "ResultTable":
+        """Combine tables into a new one, stably sorted by (design, workload).
+
+        Duplicate cells resolve to the first-seen result, and the output
+        order is a deterministic function of the *contents* only — so a
+        table assembled from parallel workers in any completion order
+        always prints identical figure rows.
+        """
+        merged = ResultTable()
+        for table in (self,) + others:
+            for result in table.results:
+                if result.key not in merged._index:
+                    merged.add(result)
+        merged.sort()
+        return merged
+
+    def sort(
+        self,
+        designs: Optional[Sequence[str]] = None,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> "ResultTable":
+        """Stable in-place sort on (design, workload).
+
+        Optional explicit orderings pin rows to the figure's presentation
+        order (the requested design/workload lists); anything not listed
+        sorts lexicographically after the listed entries.
+        """
+
+        def rank(order: Optional[Sequence[str]], value: str) -> Tuple[int, str]:
+            if order is not None:
+                try:
+                    return (list(order).index(value), value)
+                except ValueError:
+                    return (len(order), value)
+            return (0, value)
+
+        self.results.sort(
+            key=lambda r: (rank(designs, r.design), rank(workloads, r.workload))
+        )
+        return self
 
     def workloads(self) -> List[str]:
         """Distinct workloads in insertion order."""

@@ -1,9 +1,20 @@
-"""Run design x workload grids and collect results for the harness."""
+"""Run design x workload grids and collect results for the harness.
+
+``run_suite`` is the fan-out point for every performance figure: each
+(design, workload) cell is an independent pure function of its arguments,
+so cells run across a process pool (``jobs``) and bit-identical results
+merge in grid order regardless of completion order. Finished cells are
+stored in the content-addressed run cache (see ``repro.parallel.runcache``)
+and reused across figures — the SGX_O baseline recurs in Figs. 8/9/10/13/14
+but is simulated once per code version.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
+from repro.parallel import parallel_map, resolve_cache, resolve_jobs
+from repro.parallel.runcache import RunCache, cache_key
 from repro.secure.designs import SecureDesign
 from repro.sim.config import SystemConfig
 from repro.sim.energy import SystemEnergyParams, system_energy
@@ -75,16 +86,85 @@ def run_workload(
     )
 
 
+def _workload_label(workload: Union[str, WorkloadProfile]) -> str:
+    return workload if isinstance(workload, str) else workload.name
+
+
+def _cell_key(
+    design: SecureDesign,
+    workload: Union[str, WorkloadProfile],
+    config: SystemConfig,
+    energy_params: Optional[SystemEnergyParams],
+) -> str:
+    """Content address of one grid cell (see repro.parallel.runcache)."""
+    return cache_key(
+        "run_workload",
+        design=design,
+        workload=workload,
+        config=config,
+        energy=energy_params or SystemEnergyParams(),
+    )
+
+
+def _run_cell(task: Tuple) -> RunResult:
+    """Module-level worker entry so cells pickle into pool processes."""
+    design, workload, config, energy_params = task
+    return run_workload(design, workload, config, energy_params)
+
+
 def run_suite(
     designs: Iterable[SecureDesign],
     workloads: Iterable[Union[str, WorkloadProfile]],
     config: SystemConfig = SystemConfig(),
     energy_params: Optional[SystemEnergyParams] = None,
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, str, RunCache] = None,
 ) -> ResultTable:
-    """Run every design on every workload."""
-    table = ResultTable()
+    """Run every design on every workload, fanned over ``jobs`` processes.
+
+    ``jobs``/``cache`` default to the process execution context (CLI
+    ``--jobs`` / ``--no-cache``, or ``REPRO_JOBS`` / ``REPRO_CACHE``).
+    Results are returned in grid order — designs outer, workloads inner —
+    whatever the completion order, and are bit-identical to a serial run.
+    """
+    designs = list(designs)
     workloads = list(workloads)
-    for design in designs:
-        for workload in workloads:
-            table.add(run_workload(design, workload, config, energy_params))
+    jobs = resolve_jobs(jobs)
+    run_cache = resolve_cache(cache)
+
+    cells = [(design, workload) for design in designs for workload in workloads]
+    finished = {}
+    pending = []
+    for design, workload in cells:
+        label = "%s/%s" % (design.name, _workload_label(workload))
+        key = (
+            _cell_key(design, workload, config, energy_params)
+            if run_cache is not None
+            else None
+        )
+        if key is not None:
+            payload = run_cache.get(key, label=label)
+            if payload is not None:
+                finished[(design, workload)] = RunResult.from_payload(payload)
+                continue
+        pending.append(((design, workload), key, label))
+
+    if pending:
+        results = parallel_map(
+            _run_cell,
+            [
+                (design, workload, config, energy_params)
+                for (design, workload), _key, _label in pending
+            ],
+            jobs=jobs,
+            labels=[label for _cell, _key, label in pending],
+        )
+        for (cell, key, _label), result in zip(pending, results):
+            finished[cell] = result
+            if run_cache is not None and key is not None:
+                run_cache.put(key, result.to_payload())
+
+    table = ResultTable()
+    for cell in cells:
+        table.add(finished[cell])
     return table

@@ -3,9 +3,22 @@
 import pytest
 
 from repro.crypto.keys import ProcessorKeys
+from repro.parallel import overridden
 
 
 @pytest.fixture(scope="session")
 def keys():
     """Session-wide processor keys (key schedule derivation is not free)."""
     return ProcessorKeys(b"test-master-secret")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def hermetic_run_cache(tmp_path_factory):
+    """Point the run cache at a per-session temp dir.
+
+    Tests still exercise the cache code paths, but never read results a
+    previous session (or the user's real experiments) left on disk.
+    """
+    cache_dir = str(tmp_path_factory.mktemp("runcache"))
+    with overridden(cache_enabled=True, cache_dir=cache_dir):
+        yield

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Write per-figure wall-time snapshots so PRs can track the perf trajectory.
+
+For each named experiment this runs it once (cold, fresh stats) and writes
+``BENCH_<name>.json`` containing the wall time, the execution-layer
+counters (cells run, cache hits, worker utilisation, slowest cells) and
+enough provenance (scale, jobs, code fingerprint, python version) to make
+two snapshots comparable:
+
+    python tools/bench_snapshot.py fig8 fig11 --scale quick --jobs 4
+    python tools/bench_snapshot.py --all --scale quick --out-dir bench/
+
+By default the run cache is *disabled* so the snapshot measures compute,
+not reuse; pass ``--cache`` to measure the warm path instead.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.parallel import EXECUTION_STATS, code_fingerprint
+
+DEFAULT_FIGURES = ["fig8", "fig11"]
+
+
+def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
+    """Run one experiment and package its timing record."""
+    EXECUTION_STATS.reset()
+    started = time.time()
+    run_experiment(name, scale=scale, quiet=True, jobs=jobs, cache=cache)
+    elapsed = time.time() - started
+    return {
+        "figure": name,
+        "scale": scale,
+        "jobs": jobs,
+        "cache": cache,
+        "seconds": round(elapsed, 3),
+        "execution": EXECUTION_STATS.as_dict(),
+        "code_fingerprint": code_fingerprint(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=None,
+        help="experiment names (default: %s)" % " ".join(DEFAULT_FIGURES),
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="snapshot every experiment"
+    )
+    parser.add_argument("--scale", default="quick")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="leave the run cache on (measures the warm path)",
+    )
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args()
+
+    names = (
+        sorted(EXPERIMENTS)
+        if args.all
+        else (args.figures or DEFAULT_FIGURES)
+    )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiment(s): %s" % ", ".join(unknown))
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name in names:
+        record = snapshot(name, args.scale, args.jobs, args.cache)
+        path = os.path.join(args.out_dir, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(
+            "%s: %.2fs (%d cells, utilisation %.0f%%) -> %s"
+            % (
+                name,
+                record["seconds"],
+                record["execution"]["cells_executed"],
+                100 * record["execution"]["worker_utilisation"],
+                path,
+            ),
+            flush=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,35 +4,48 @@
 Used to produce the paper-vs-measured numbers recorded in EXPERIMENTS.md:
 
     python tools/run_experiments.py default experiments_default.json
+    python tools/run_experiments.py default out.json --jobs 4 --no-cache
 """
 
+import argparse
 import json
 import sys
 import time
 
-from repro.harness.experiments import EXPERIMENTS
-from repro.harness.scales import resolve_scale
-
-UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.parallel import EXECUTION_STATS
 
 
 def main() -> int:
-    scale_name = sys.argv[1] if len(sys.argv) > 1 else "default"
-    output_path = sys.argv[2] if len(sys.argv) > 2 else "experiments.json"
-    scale = resolve_scale(scale_name)
-    results = {"scale": scale_name}
-    for name, function in sorted(EXPERIMENTS.items()):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", default="default")
+    parser.add_argument("output", nargs="?", default="experiments.json")
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for fan-out"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk run cache"
+    )
+    args = parser.parse_args()
+
+    cache = False if args.no_cache else None
+    results = {"scale": args.scale}
+    for name in sorted(EXPERIMENTS):
+        EXECUTION_STATS.reset()
         started = time.time()
-        if name in UNSCALED:
-            value = function(quiet=True)
-        else:
-            value = function(scale, quiet=True)
+        value = run_experiment(
+            name, scale=args.scale, quiet=True, jobs=args.jobs, cache=cache
+        )
         elapsed = time.time() - started
-        results[name] = {"result": _jsonable(value), "seconds": round(elapsed, 1)}
+        results[name] = {
+            "result": _jsonable(value),
+            "seconds": round(elapsed, 1),
+            "execution": EXECUTION_STATS.as_dict(),
+        }
         print("%s done in %.1fs" % (name, elapsed), flush=True)
-    with open(output_path, "w") as handle:
+    with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
-    print("wrote", output_path)
+    print("wrote", args.output)
     return 0
 
 
