@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.setassoc import CacheAccessResult, SetAssociativeCache
+from repro.telemetry import get_registry
 from repro.util.units import CACHELINE_BYTES, KIB, MIB
 
 
@@ -46,6 +47,9 @@ class CacheHierarchy:
         )
         self.metadata_llc_fills = 0
         self.data_llc_fills = 0
+        registry = get_registry()
+        self._t_metadata_llc_fills = registry.counter("cache.metadata_llc_fills")
+        self._t_data_llc_fills = registry.counter("cache.data_llc_fills")
 
     # -- program data ----------------------------------------------------
 
@@ -54,6 +58,7 @@ class CacheHierarchy:
         result = self.llc.access(line_address, is_write)
         if not result.hit:
             self.data_llc_fills += 1
+            self._t_data_llc_fills.inc()
         return result
 
     # -- metadata ----------------------------------------------------------
@@ -81,6 +86,7 @@ class CacheHierarchy:
         llc_result = self.llc.access(line_address, is_write)
         if not llc_result.hit:
             self.metadata_llc_fills += 1
+            self._t_metadata_llc_fills.inc()
         # Spill the dedicated victim into the LLC instead of memory.
         spill_writeback: Optional[int] = None
         if dedicated.writeback_address is not None:
@@ -92,6 +98,25 @@ class CacheHierarchy:
         return CacheAccessResult(hit=False, writeback_address=writeback)
 
     # -- introspection ----------------------------------------------------
+
+    def reset_fill_stats(self) -> None:
+        """Zero the LLC-fill counters (the post-warmup reset)."""
+        self.metadata_llc_fills = 0
+        self.data_llc_fills = 0
+        self._t_metadata_llc_fills.reset()
+        self._t_data_llc_fills.reset()
+
+    def record_telemetry(self) -> None:
+        """End-of-run occupancy gauges for both caches.
+
+        The metadata-cache occupancy here is the direct observable behind
+        the paper's SGX-vs-Synergy metadata-pressure argument (Figs. 9/10).
+        """
+        registry = get_registry()
+        registry.gauge("cache.llc.occupancy").set(self.llc.occupancy)
+        registry.gauge("cache.metadata.occupancy").set(
+            self.metadata_cache.occupancy
+        )
 
     def llc_data_hit_rate(self) -> float:
         """Overall LLC hit rate (data + any metadata routed through it)."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.telemetry import get_registry
 from repro.util.units import is_power_of_two, log2_int
 
 
@@ -44,6 +45,11 @@ class SetAssociativeCache:
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        registry = get_registry()
+        prefix = "cache.%s" % name
+        self._t_hits = registry.counter(prefix + ".hits")
+        self._t_misses = registry.counter(prefix + ".misses")
+        self._t_dirty_evictions = registry.counter(prefix + ".dirty_evictions")
 
     def _locate(self, line_address: int) -> Tuple[int, int]:
         set_index = line_address & self._set_mask
@@ -59,12 +65,14 @@ class SetAssociativeCache:
         for position, entry in enumerate(ways):
             if entry[0] == tag:
                 self.hits += 1
+                self._t_hits.inc()
                 if position:
                     ways.insert(0, ways.pop(position))
                 if is_write:
                     entry[1] = True
                 return CacheAccessResult(hit=True)
         self.misses += 1
+        self._t_misses.inc()
         writeback = self._insert(set_index, tag, is_write)
         return CacheAccessResult(hit=False, writeback_address=writeback)
 
@@ -104,6 +112,7 @@ class SetAssociativeCache:
             self.evictions += 1
             if victim_dirty:
                 self.dirty_evictions += 1
+                self._t_dirty_evictions.inc()
                 writeback = self._reconstruct(set_index, victim_tag)
         ways.insert(0, [tag, dirty])
         return writeback
@@ -127,5 +136,12 @@ class SetAssociativeCache:
         return sum(len(ways) for ways in self._sets)
 
     def reset_stats(self) -> None:
-        """Zero hit/miss/eviction counters (contents untouched)."""
+        """Zero hit/miss/eviction counters (contents untouched).
+
+        Telemetry counters reset with them so the post-warmup metrics
+        describe the measured phase only, matching ``hit_rate``.
+        """
         self.hits = self.misses = self.evictions = self.dirty_evictions = 0
+        self._t_hits.reset()
+        self._t_misses.reset()
+        self._t_dirty_evictions.reset()

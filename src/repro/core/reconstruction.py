@@ -24,11 +24,15 @@ from repro.core.cacheline_codec import counter_line_candidates, decode_data_line
 from repro.dimm.geometry import DATA_CHIPS, ECC_CHIP, TOTAL_CHIPS
 from repro.ecc.parity import xor_parity
 from repro.secure.mac import LineMacCalculator
+from repro.telemetry import get_registry, get_tracer
 from repro.util.stats import StatGroup
 
 #: Budget caps from Section IV-A.
 MAX_COUNTER_ATTEMPTS = 8
 MAX_DATA_ATTEMPTS = 16
+
+#: Attempt-count buckets sized to the Section IV-A budgets.
+ATTEMPT_EDGES = (1, 2, 4, 8, 16)
 
 
 @dataclass
@@ -47,6 +51,12 @@ class ReconstructionEngine:
     def __init__(self, mac_calc: LineMacCalculator):
         self.mac_calc = mac_calc
         self.stats = StatGroup("reconstruction")
+        registry = get_registry()
+        self._t_attempts = registry.histogram(
+            "core.reconstruction_attempts", ATTEMPT_EDGES
+        )
+        self._t_corrections = registry.counter("core.reconstruction_corrections")
+        self._t_failures = registry.counter("core.reconstruction_failures")
 
     # ------------------------------------------------------------------
     # Counter / tree-counter lines (Scenarios B and C of Fig. 7c)
@@ -72,8 +82,17 @@ class ReconstructionEngine:
                 repaired = self._repair_counter_lanes(lanes, chip)
                 self.stats.counter("counter_corrections").add()
                 self.stats.histogram("counter_attempts").record(attempts)
+                self._t_corrections.inc()
+                self._t_attempts.record(attempts)
+                get_tracer().emit(
+                    "reconstruction",
+                    line_type="counter",
+                    chip=chip,
+                    attempts=attempts,
+                )
                 return ReconstructionOutcome(chip, repaired, attempts)
         self.stats.counter("counter_failures").add()
+        self._t_failures.inc()
         return None
 
     @staticmethod
@@ -123,8 +142,18 @@ class ReconstructionEngine:
                 if expected == mac:
                     self.stats.counter("data_corrections").add()
                     self.stats.histogram("data_attempts").record(attempts)
+                    self._t_corrections.inc()
+                    self._t_attempts.record(attempts)
+                    get_tracer().emit(
+                        "reconstruction",
+                        line_type="data",
+                        chip=chip,
+                        attempts=attempts,
+                        rebuilt_parity=use_rebuilt,
+                    )
                     return ReconstructionOutcome(chip, repaired, attempts, use_rebuilt)
         self.stats.counter("data_failures").add()
+        self._t_failures.inc()
         return None
 
     @staticmethod
@@ -161,5 +190,7 @@ class ReconstructionEngine:
         expected = self.mac_calc.data_mac(address, counter, ciphertext)
         if expected == mac:
             self.stats.counter("precorrections").add()
+            self._t_corrections.inc()
+            self._t_attempts.record(1)
             return ReconstructionOutcome(faulty_chip, repaired, 1)
         return None

@@ -19,6 +19,7 @@ from typing import Dict, List
 
 from repro.core.synergy import SynergyMemory
 from repro.secure.errors import SecureMemoryError
+from repro.telemetry import get_registry, get_tracer
 
 
 @dataclass
@@ -41,6 +42,10 @@ class MemoryScrubber:
 
     def __init__(self, memory: SynergyMemory):
         self.memory = memory
+        registry = get_registry()
+        self._t_passes = registry.counter("core.scrub_passes")
+        self._t_lines = registry.counter("core.scrub_lines_scanned")
+        self._t_corrections = registry.counter("core.scrub_corrections")
 
     def scrub(self) -> ScrubReport:
         """Read-verify every data line; corrections are written back.
@@ -72,4 +77,13 @@ class MemoryScrubber:
             delta = count - before_blames.get(chip, 0)
             if delta:
                 report.corrections_by_chip[chip] = delta
+        self._t_passes.inc()
+        self._t_lines.inc(report.lines_scanned)
+        self._t_corrections.inc(report.corrections)
+        get_tracer().emit(
+            "scrub_pass",
+            lines_scanned=report.lines_scanned,
+            corrections=report.corrections,
+            uncorrectable=len(report.uncorrectable_lines),
+        )
         return report

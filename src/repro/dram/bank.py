@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dram.timing import DramTiming
+from repro.telemetry import get_registry
 
 
 class BankState:
@@ -22,6 +23,8 @@ class BankState:
         self.activated_at = 0  #: when the current row was opened (tRAS)
         self.row_hits = 0
         self.row_misses = 0
+        # Shared across all banks created under the same registry scope.
+        self._t_activations = get_registry().counter("dram.bank_activations")
 
     def classify(self, row: int) -> str:
         """'hit', 'miss' (conflict), or 'closed'."""
@@ -46,6 +49,7 @@ class BankState:
         kind = self.classify(row)
         if kind != "hit":
             self.row_misses += 1
+            self._t_activations.inc()
             if kind == "miss":
                 # Must respect tRAS of the previously open row before PRE;
                 # the caller accounted for PRE+ACT in the latency already.

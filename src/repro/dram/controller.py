@@ -27,7 +27,13 @@ from repro.dram.address import AddressMapper
 from repro.dram.channel import ChannelState
 from repro.dram.scheduler import FrFcfsScheduler
 from repro.dram.timing import MemoryConfig
+from repro.telemetry import get_registry
 from repro.util.stats import StatGroup
+
+#: Telemetry bucket edges: queue depths in requests, latencies in memory
+#: cycles (fixed so per-cell histograms merge across workers).
+QUEUE_DEPTH_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+LATENCY_EDGES = (16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 4096)
 
 
 class RequestKind(enum.Enum):
@@ -82,6 +88,18 @@ class MemoryController:
         self._queues = [_ChannelQueues() for _ in range(config.channels)]
         self._sequence = 0
         self.stats = StatGroup("memory_controller")
+        registry = get_registry()
+        self._t_row_hits = registry.counter("dram.row_hits")
+        self._t_row_misses = registry.counter("dram.row_misses")
+        self._t_queue_depth = registry.histogram(
+            "dram.queue_depth", QUEUE_DEPTH_EDGES
+        )
+        self._t_read_latency = registry.histogram(
+            "dram.read_latency_cycles", LATENCY_EDGES
+        )
+        self._t_write_latency = registry.histogram(
+            "dram.write_latency_cycles", LATENCY_EDGES
+        )
 
     # ------------------------------------------------------------------
 
@@ -151,6 +169,11 @@ class MemoryController:
                     continue
                 plan, pool, pool_index = choice
 
+            self._t_queue_depth.record(len(queues.reads) + len(queues.writes))
+            if channel.banks[chosen.flat_bank].classify(chosen.row) == "hit":
+                self._t_row_hits.inc()
+            else:
+                self._t_row_misses.inc()
             channel.commit(chosen.rank, chosen.bank, chosen.row, chosen.is_write, plan)
             chosen.completion = plan[2]
             queues.last_command_start = plan[0]
@@ -209,8 +232,10 @@ class MemoryController:
         latency = completion - request.arrival
         if request.is_write:
             self.stats.histogram("write_latency").record(latency)
+            self._t_write_latency.record(latency)
         else:
             self.stats.histogram("read_latency").record(latency)
+            self._t_read_latency.record(latency)
         self.stats.counter("data_bus_cycles").add(completion - data_start)
 
     # ------------------------------------------------------------------
@@ -227,6 +252,27 @@ class MemoryController:
     def last_completion(self) -> int:
         """Latest data-bus release across channels (end of simulation)."""
         return max(channel.bus_free_at for channel in self.channels)
+
+    def record_telemetry(self) -> None:
+        """End-of-run gauges: bus utilisation and per-bank access balance.
+
+        Gauges aggregate as count/sum/min/max, so the per-bank observations
+        expose utilisation imbalance (hot banks) after merging, not just
+        the mean.
+        """
+        registry = get_registry()
+        last = self.last_completion
+        if last > 0:
+            bus_cycles = 0
+            if "data_bus_cycles" in self.stats:
+                bus_cycles = self.stats["data_bus_cycles"].value  # type: ignore[attr-defined]
+            registry.gauge("dram.bus_utilisation").set(
+                bus_cycles / (last * self.config.channels)
+            )
+        bank_gauge = registry.gauge("dram.bank_accesses")
+        for channel in self.channels:
+            for bank in channel.banks:
+                bank_gauge.set(bank.row_hits + bank.row_misses)
 
     def activation_counts(self) -> Dict[str, int]:
         """Row activations and accesses for the energy model."""

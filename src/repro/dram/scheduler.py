@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.dram.channel import ChannelState
+from repro.telemetry import get_registry
 
 
 class FrFcfsScheduler:
@@ -20,9 +21,15 @@ class FrFcfsScheduler:
         self.drain_high = drain_high
         self.drain_low = drain_low
         self.draining = False
+        registry = get_registry()
+        self._t_drain_bursts = registry.counter("dram.write_drain_bursts")
+        self._t_write_queue_depth = registry.histogram(
+            "dram.write_queue_depth", (0, 1, 2, 4, 8, 16, 32, 64, 128)
+        )
 
     def update_drain_mode(self, write_queue_depth: int, read_queue_depth: int) -> None:
         """Hysteresis: enter drain at HIGH, leave at LOW (or when reads wait)."""
+        was_draining = self.draining
         if self.draining:
             if write_queue_depth <= self.drain_low:
                 self.draining = False
@@ -32,6 +39,9 @@ class FrFcfsScheduler:
         if read_queue_depth == 0 and write_queue_depth > 0:
             # Opportunistic writes when the channel would otherwise idle.
             self.draining = True
+        if self.draining and not was_draining:
+            self._t_drain_bursts.inc()
+            self._t_write_queue_depth.record(write_queue_depth)
 
     def choose(
         self,

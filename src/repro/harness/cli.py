@@ -16,8 +16,17 @@ import time
 from typing import List, Optional
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.report import render_execution_stats
+from repro.harness.report import render_execution_stats, render_metrics_summary
 from repro.parallel import EXECUTION_STATS, default_jobs
+from repro.telemetry import (
+    TELEMETRY_AGGREGATE,
+    configure,
+    configure_tracer,
+    get_tracer,
+    metrics_out_from_env,
+    trace_out_from_env,
+    write_metrics,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -50,10 +59,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="ignore and do not populate the on-disk run cache",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=metrics_out_from_env(),
+        metavar="PATH",
+        help="write the merged telemetry snapshot as JSON "
+        "(default: a path in REPRO_METRICS, if set)",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable telemetry collection (same as REPRO_METRICS=0)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=trace_out_from_env(),
+        metavar="PATH",
+        help="enable event tracing and write it as JSONL "
+        "(per-process: use --jobs 1 for a complete simulation trace; "
+        "default: REPRO_TRACE, if set)",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_metrics:
+        configure(False)
+    if args.trace_out:
+        configure_tracer(enabled=True, run_id=args.experiment)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     cache = False if args.no_cache else None
+    TELEMETRY_AGGREGATE.reset()
     for name in names:
         print("=" * 72)
         print("Experiment:", name)
@@ -65,6 +100,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if EXECUTION_STATS.cells_executed or EXECUTION_STATS.cache_hits:
             print(render_execution_stats(EXECUTION_STATS))
         print()
+    if TELEMETRY_AGGREGATE:
+        print(render_metrics_summary(TELEMETRY_AGGREGATE))
+        print()
+    if args.metrics_out:
+        path = write_metrics(
+            args.metrics_out,
+            run={
+                "experiments": names,
+                "scale": args.scale,
+                "jobs": args.jobs,
+                "execution": EXECUTION_STATS.as_dict(),
+            },
+        )
+        print("[metrics written to %s]" % path)
+    if args.trace_out:
+        count = get_tracer().write_jsonl(args.trace_out)
+        print("[%d trace event(s) written to %s]" % (count, args.trace_out))
     return 0
 
 

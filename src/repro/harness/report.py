@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
 
 if TYPE_CHECKING:
     from repro.parallel.instrument import ExecutionStats
+    from repro.telemetry import TelemetryAggregate
 
 
 def render_table(
@@ -79,6 +80,28 @@ def render_execution_stats(stats: "ExecutionStats") -> str:
         )
         lines.append("slowest cells: " + slowest)
     return "\n".join(lines)
+
+
+def render_metrics_summary(aggregate: "TelemetryAggregate") -> str:
+    """Per-group headline metrics as a table (the --metrics-out preview).
+
+    Rows are groups (designs / MC schemes), columns the union of headline
+    keys present in any group; absent quantities render as '-'.
+    """
+    headlines = aggregate.headlines()
+    columns: List[str] = []
+    for values in headlines.values():
+        for key in values:
+            if key not in columns:
+                columns.append(key)
+    rows = []
+    for group in headlines:
+        row: List[object] = [group]
+        for column in columns:
+            value = headlines[group].get(column)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return render_table(["group"] + columns, rows, title="telemetry headline")
 
 
 def _fmt(cell: object) -> str:

@@ -4,63 +4,91 @@ One process-global :class:`ExecutionStats` accumulates per-cell wall times,
 cache hit/miss counters and pool utilisation; the CLI renders a summary
 after each experiment (``repro.harness.report.render_execution_stats``)
 and ``tools/bench_snapshot.py`` persists it alongside wall-clock numbers.
+
+The counters live in a private :class:`~repro.telemetry.MetricsRegistry`,
+so the execution profile merges and serialises through the same snapshot
+path as the simulator metrics (``snapshot()``). The registry is private —
+not the cell-scoped one — because these numbers describe the *harness*
+(wall clocks, pool spans), which must never leak into the deterministic
+per-cell snapshots attached to cached results.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.telemetry import MetricsRegistry, MetricsSnapshot
+
 
 class ExecutionStats:
     """Counters for one experiment's worth of cell executions."""
 
     def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero all counters (the CLI resets between experiments)."""
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._registry = MetricsRegistry(enabled=True)
+        self._hits = self._registry.counter("exec.cache_hits")
+        self._misses = self._registry.counter("exec.cache_misses")
+        self._cell_timer = self._registry.timer("exec.cell_seconds")
+        self._span_timer = self._registry.timer("exec.span_seconds")
+        self._capacity_timer = self._registry.timer("exec.capacity_seconds")
         #: (label, seconds) per executed cell, in submission order
         self.cell_times: List[Tuple[str, float]] = []
         #: wall-clock spans of the fan-out calls and the jobs they used
         self.map_spans: List[Tuple[int, float]] = []
 
+    def reset(self) -> None:
+        """Zero all counters (the CLI resets between experiments)."""
+        self._registry.reset()
+        self.cell_times = []
+        self.map_spans = []
+
     # -- recording (called by runcache / executor) --------------------------
 
     def record_cache_hit(self, label: str = "") -> None:
-        self.cache_hits += 1
+        self._hits.inc()
 
     def record_cache_miss(self, label: str = "") -> None:
-        self.cache_misses += 1
+        self._misses.inc()
 
     def record_cell(self, label: str, seconds: float) -> None:
         self.cell_times.append((label, seconds))
+        self._cell_timer.record(seconds)
 
     def record_map(self, jobs: int, span_seconds: float) -> None:
         self.map_spans.append((jobs, span_seconds))
+        self._span_timer.record(span_seconds)
+        self._capacity_timer.record(jobs * span_seconds)
 
     # -- derived metrics ----------------------------------------------------
 
     @property
+    def cache_hits(self) -> int:
+        """Cells served from the run cache."""
+        return int(self._hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells that missed the run cache."""
+        return int(self._misses.value)
+
+    @property
     def cells_executed(self) -> int:
         """Cells actually simulated (cache misses that ran)."""
-        return len(self.cell_times)
+        return self._cell_timer.count
 
     @property
     def busy_seconds(self) -> float:
         """Total worker-occupied time across all cells."""
-        return sum(seconds for _, seconds in self.cell_times)
+        return self._cell_timer.total_seconds
 
     @property
     def span_seconds(self) -> float:
         """Wall-clock time inside fan-out calls."""
-        return sum(span for _, span in self.map_spans)
+        return self._span_timer.total_seconds
 
     @property
     def worker_utilisation(self) -> float:
         """busy / (workers x span): 1.0 means the pool never idled."""
-        capacity = sum(jobs * span for jobs, span in self.map_spans)
+        capacity = self._capacity_timer.total_seconds
         if capacity <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / capacity)
@@ -68,6 +96,10 @@ class ExecutionStats:
     def slowest_cells(self, count: int = 5) -> List[Tuple[str, float]]:
         """The ``count`` longest-running cells (for hot-spot reports)."""
         return sorted(self.cell_times, key=lambda item: -item[1])[:count]
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The execution profile as a mergeable metrics snapshot."""
+        return self._registry.snapshot()
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (bench snapshots, run_experiments dumps)."""

@@ -36,8 +36,17 @@ from repro.parallel.runcache import RunCache, cache_key
 from repro.reliability.faults import ChipGeometry, FaultInstance
 from repro.reliability.fitrates import FAULT_MODES, FaultGranularity, FaultMode
 from repro.reliability.schemes import ProtectionScheme
+from repro.telemetry import (
+    TELEMETRY_AGGREGATE,
+    MetricsSnapshot,
+    cell_scope,
+    get_registry,
+)
 from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.units import HOURS_PER_YEAR
+
+#: Failure-count buckets for the per-shard failure histogram.
+SHARD_FAILURE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass(frozen=True)
@@ -172,13 +181,26 @@ def simulate_shard(
             faults.append(_sample_fault(device_rng, chip, mode, config))
         if scheme.device_fails(faults):
             failures += 1
+    registry = get_registry()
+    registry.counter("mc.shards").inc()
+    registry.counter("mc.devices").inc(shard_size)
+    registry.counter("mc.failures").inc(failures)
+    registry.histogram("mc.shard_failures", SHARD_FAILURE_EDGES).record(failures)
     return failures
 
 
-def _shard_task(task: Tuple) -> int:
-    """Module-level worker entry so shards pickle into pool processes."""
+def _shard_task(task: Tuple) -> Tuple[int, dict]:
+    """Module-level worker entry so shards pickle into pool processes.
+
+    Returns ``(failures, telemetry_payload)``: the shard runs under its own
+    registry scope so the snapshot contains exactly this shard's metrics,
+    regardless of which worker process executed it.
+    """
     scheme, config, shard_id, shard_size = task
-    return simulate_shard(scheme, config, shard_id, shard_size)
+    with cell_scope(cell="mc:%s" % scheme.name, shard=shard_id) as registry:
+        failures = simulate_shard(scheme, config, shard_id, shard_size)
+        payload = registry.snapshot().to_payload()
+    return failures, payload
 
 
 def simulate_failure_probability(
@@ -203,22 +225,33 @@ def simulate_failure_probability(
         key = cache_key("montecarlo", scheme=scheme, config=config)
         payload = run_cache.get(key, label=label)
         if payload is not None:
-            return float(payload)
+            # Warm hit: revive the cached telemetry so reports still carry
+            # metrics even when no shard actually executed.
+            TELEMETRY_AGGREGATE.add(label, payload.get("telemetry"))
+            return float(payload["probability"])
 
     shards = config.shards()
-    failures = sum(
-        parallel_map(
-            _shard_task,
-            [(scheme, config, shard_id, size) for shard_id, size in shards],
-            jobs=jobs,
-            labels=[
-                "%s/shard%d" % (label, shard_id) for shard_id, _size in shards
-            ],
-        )
+    shard_results = parallel_map(
+        _shard_task,
+        [(scheme, config, shard_id, size) for shard_id, size in shards],
+        jobs=jobs,
+        labels=[
+            "%s/shard%d" % (label, shard_id) for shard_id, _size in shards
+        ],
     )
+    failures = sum(result[0] for result in shard_results)
+    # parallel_map returns in submission (= shard) order, and the merge is
+    # commutative anyway: the aggregate is independent of worker count.
+    telemetry = MetricsSnapshot()
+    for _failures, shard_payload in shard_results:
+        telemetry = telemetry.merge(MetricsSnapshot.from_payload(shard_payload))
+    TELEMETRY_AGGREGATE.add(label, telemetry)
     probability = failures / config.devices
     if run_cache is not None and key is not None:
-        run_cache.put(key, probability)
+        run_cache.put(
+            key,
+            {"probability": probability, "telemetry": telemetry.to_payload()},
+        )
     return probability
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 from repro.secure.counters import COUNTERS_PER_LINE
 from repro.secure.mac import LineMacCalculator
 from repro.secure.metadata_layout import ROOT_PARENT, MetadataLayout
+from repro.telemetry import get_registry
 
 
 class LineStore(Protocol):
@@ -55,15 +56,20 @@ class MetadataCache:
         self._lines: "OrderedDict[int, List[int]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        registry = get_registry()
+        self._t_hits = registry.counter("secure.tree_cache_hits")
+        self._t_misses = registry.counter("secure.tree_cache_misses")
 
     def lookup(self, address: int) -> Optional[List[int]]:
         """Return trusted counters for ``address`` or None."""
         counters = self._lines.get(address)
         if counters is None:
             self.misses += 1
+            self._t_misses.inc()
             return None
         self._lines.move_to_end(address)
         self.hits += 1
+        self._t_hits.inc()
         return counters
 
     def contains(self, address: int) -> bool:

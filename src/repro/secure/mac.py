@@ -18,6 +18,7 @@ from typing import Sequence
 
 from repro.crypto.gmac import Gmac64
 from repro.secure.counters import pack_counter_payload
+from repro.telemetry import get_registry
 
 
 class LineMacCalculator:
@@ -26,6 +27,7 @@ class LineMacCalculator:
     def __init__(self, gmac: Gmac64):
         self._gmac = gmac
         self.computations = 0
+        self._t_computations = get_registry().counter("secure.mac_computations")
 
     def reset_count(self) -> None:
         """Zero the MAC-computation counter."""
@@ -34,6 +36,7 @@ class LineMacCalculator:
     def data_mac(self, address: int, counter: int, ciphertext: bytes) -> bytes:
         """MAC of a data cacheline (over ciphertext, per SGX practice)."""
         self.computations += 1
+        self._t_computations.inc()
         return self._gmac.tag(address, counter, ciphertext)
 
     def counter_line_mac(
@@ -41,6 +44,7 @@ class LineMacCalculator:
     ) -> bytes:
         """MAC of a counter or tree-counter line, keyed by its parent counter."""
         self.computations += 1
+        self._t_computations.inc()
         payload = pack_counter_payload(counters)
         return self._gmac.tag(address, parent_counter, payload)
 

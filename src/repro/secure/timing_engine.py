@@ -26,7 +26,12 @@ from repro.secure.designs import (
     SecureDesign,
     TreeKind,
 )
+from repro.telemetry import get_registry
 from repro.util.stats import StatGroup
+
+#: Tree-walk depth histogram edges: one bucket per level (0 = anchored at
+#: the first node above the leaf), deep enough for any arity-8 tree here.
+TREE_DEPTH_EDGES = (0, 1, 2, 3, 4, 5, 6, 7, 8)
 
 #: Tree fan-out (counters per line for monolithic; tags per line for MAC tree).
 TREE_ARITY = 8
@@ -142,6 +147,16 @@ class SecureTimingEngine:
         self.controller = controller
         self.map = TimingMetadataMap(num_data_lines, design.counter_mode)
         self.stats = StatGroup("secure_engine_%s" % design.name)
+        registry = get_registry()
+        self._t_tree_walk_depth = registry.histogram(
+            "secure.tree_walk_depth", TREE_DEPTH_EDGES
+        )
+        self._t_mac_tree_walk_depth = registry.histogram(
+            "secure.mac_tree_walk_depth", TREE_DEPTH_EDGES
+        )
+        self._t_metadata_accesses = registry.counter("secure.metadata_accesses")
+        self._t_counter_hits = registry.counter("secure.counter_hits")
+        self._t_mac_hits = registry.counter("secure.mac_hits")
         from collections import deque
 
         self._writeback_queue = deque()
@@ -178,6 +193,8 @@ class SecureTimingEngine:
         self.stats.counter(
             "%s_%s_%s" % (self._origin, category, kind.value)
         ).add()
+        if category != "data":
+            self._t_metadata_accesses.inc()
 
     def _emit_read(
         self, out: ExpandedAccess, line: int, when: int, category: str, core: int
@@ -296,11 +313,13 @@ class SecureTimingEngine:
         self._handle_writeback(result.writeback_address, when, core)
         if result.hit:
             self.stats.counter("counter_hits").add()
+            self._t_counter_hits.inc()
             return
         self._emit_read(out, counter_line, when, "counter", core)
         if design.tree_kind is not TreeKind.BONSAI_COUNTER:
             return
         # Walk the counter tree until a cached level (trust anchor).
+        depth = 0
         for tree_line in self.map.tree_path_from_counter(counter_line):
             node = self.hierarchy.access_metadata(
                 tree_line, is_write=False, use_llc=design.counters_in_llc
@@ -309,6 +328,8 @@ class SecureTimingEngine:
             if node.hit:
                 break
             self._emit_read(out, tree_line, when, "counter", core)
+            depth += 1
+        self._t_tree_walk_depth.record(depth)
 
     def _fetch_mac(
         self, out: ExpandedAccess, data_line: int, when: int, core: int
@@ -332,6 +353,7 @@ class SecureTimingEngine:
         self._handle_writeback(result.writeback_address, when, core)
         if result.hit:
             self.stats.counter("mac_hits").add()
+            self._t_mac_hits.inc()
             return
         self._emit_read(out, mac_line, when, "mac", core)
         self._walk_mac_tree_read(out, mac_line, when, core)
@@ -343,6 +365,7 @@ class SecureTimingEngine:
         design = self.design
         if design.tree_kind is not TreeKind.MAC_TREE:
             return
+        depth = 0
         for tree_line in self.map.tree_path_from_mac(mac_line):
             node = self.hierarchy.access_metadata(
                 tree_line, is_write=False, use_llc=design.macs_in_llc
@@ -351,6 +374,8 @@ class SecureTimingEngine:
             if node.hit:
                 break
             self._emit_read(out, tree_line, when, "mac", core)
+            depth += 1
+        self._t_mac_tree_walk_depth.record(depth)
 
     # ------------------------------------------------------------------
     # Write path (LLC dirty-data eviction = memory write)

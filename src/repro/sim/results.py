@@ -26,6 +26,9 @@ class RunResult:
     edp: float = 0.0
     llc_hit_rate: float = 0.0
     metadata_hit_rate: float = 0.0
+    #: per-cell metrics snapshot payload (``MetricsSnapshot.to_payload``);
+    #: deterministic — no wall-clock timers — so serial/pooled cells match
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def traffic_per_kilo_instruction(self) -> Dict[str, float]:
         """Accesses per 1000 instructions by category."""

@@ -20,6 +20,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.energy import SystemEnergyParams, system_energy
 from repro.sim.results import ResultTable, RunResult
 from repro.sim.system import SystemSimulator
+from repro.telemetry import TELEMETRY_AGGREGATE, cell_scope, get_tracer
 from repro.workloads.generator import generate_trace
 from repro.workloads.mixes import MIXES
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
@@ -61,11 +62,29 @@ def run_workload(
     config: SystemConfig = SystemConfig(),
     energy_params: Optional[SystemEnergyParams] = None,
 ) -> RunResult:
-    """Simulate one (design, workload) pair and package the result."""
+    """Simulate one (design, workload) pair and package the result.
+
+    The simulation runs under its own telemetry scope: every instrumented
+    component constructed here registers into a fresh per-cell registry,
+    and the snapshot rides on :attr:`RunResult.telemetry` — into the run
+    cache and back across process-pool boundaries.
+    """
     label, traces = _traces_for(workload, config)
     _label, warmup_traces = _traces_for(workload, config, seed_salt="warmup")
-    sim = SystemSimulator(design, traces, config).run(warmup_traces)
-    energy = system_energy(sim, energy_params or SystemEnergyParams())
+    cell = "%s/%s" % (design.name, label)
+    tracer = get_tracer()
+    with cell_scope(cell=cell) as registry:
+        tracer.emit("cell_start", design=design.name, workload=label)
+        sim = SystemSimulator(design, traces, config).run(warmup_traces)
+        energy = system_energy(sim, energy_params or SystemEnergyParams())
+        tracer.emit(
+            "cell_end",
+            design=design.name,
+            workload=label,
+            ipc=sim.ipc,
+            cpu_cycles=sim.cpu_cycles,
+        )
+        telemetry = registry.snapshot().deterministic().to_payload()
     return RunResult(
         design=design.name,
         workload=label,
@@ -83,6 +102,7 @@ def run_workload(
         edp=energy.edp,
         llc_hit_rate=sim.hierarchy.llc.hit_rate,
         metadata_hit_rate=sim.hierarchy.metadata_cache.hit_rate,
+        telemetry=telemetry,
     )
 
 
@@ -166,5 +186,9 @@ def run_suite(
 
     table = ResultTable()
     for cell in cells:
-        table.add(finished[cell])
+        result = finished[cell]
+        table.add(result)
+        # Grid order + commutative merge => the aggregate is independent of
+        # completion order, and warm cache hits still contribute metrics.
+        TELEMETRY_AGGREGATE.add(result.design, result.telemetry)
     return table

@@ -23,7 +23,11 @@ from repro.dram.controller import MemoryController, Request
 from repro.secure.designs import SecureDesign
 from repro.secure.timing_engine import SecureTimingEngine
 from repro.sim.config import SystemConfig
+from repro.telemetry import get_registry
 from repro.util.stats import StatGroup
+
+#: CPU-cycle buckets for end-to-end read-miss latency (LLC miss -> usable).
+MISS_LATENCY_EDGES = (64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096)
 
 
 class SystemSimulator:
@@ -63,6 +67,9 @@ class SystemSimulator:
         ]
         self.driver = MulticoreDriver(self.cores, self._resolve)
         self._mult = config.memory.cpu_clock_multiplier
+        self._t_miss_latency = get_registry().histogram(
+            "system.read_miss_latency_cpu", MISS_LATENCY_EDGES
+        )
 
     # ------------------------------------------------------------------
     # Core-facing memory interface
@@ -115,6 +122,7 @@ class SystemSimulator:
             handle.completion_cpu = (
                 max(issue_cpu, last_mem * self._mult) + latency_tail
             )
+            self._t_miss_latency.record(handle.completion_cpu - issue_cpu)
         self._unresolved.clear()
 
     # ------------------------------------------------------------------
@@ -136,8 +144,7 @@ class SystemSimulator:
                 )
         self.hierarchy.llc.reset_stats()
         self.hierarchy.metadata_cache.reset_stats()
-        self.hierarchy.metadata_llc_fills = 0
-        self.hierarchy.data_llc_fills = 0
+        self.hierarchy.reset_fill_stats()
 
     def run(self, warmup_traces: Optional[List[Trace]] = None) -> "SystemSimulator":
         """Drive the simulation to completion; returns self for chaining."""
@@ -145,6 +152,8 @@ class SystemSimulator:
             self.warmup(warmup_traces)
         self.driver.run()
         self._resolve()  # flush any trailing posted writes
+        self.hierarchy.record_telemetry()
+        self.controller.record_telemetry()
         return self
 
     # -- results -----------------------------------------------------------

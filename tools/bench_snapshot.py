@@ -23,6 +23,7 @@ import time
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.parallel import EXECUTION_STATS, code_fingerprint
+from repro.telemetry import TELEMETRY_AGGREGATE
 
 DEFAULT_FIGURES = ["fig8", "fig11"]
 
@@ -30,6 +31,7 @@ DEFAULT_FIGURES = ["fig8", "fig11"]
 def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
     """Run one experiment and package its timing record."""
     EXECUTION_STATS.reset()
+    TELEMETRY_AGGREGATE.reset()
     started = time.time()
     run_experiment(name, scale=scale, quiet=True, jobs=jobs, cache=cache)
     elapsed = time.time() - started
@@ -40,6 +42,14 @@ def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
         "cache": cache,
         "seconds": round(elapsed, 3),
         "execution": EXECUTION_STATS.as_dict(),
+        # Headline simulator metrics (row-buffer / cache hit rates, tree
+        # walk depths ...) per design group plus the global merge — the
+        # numbers PRs watch alongside the wall clocks above.
+        "metrics": {
+            "groups": TELEMETRY_AGGREGATE.headlines(),
+            "global": TELEMETRY_AGGREGATE.overall().headline(),
+            "pool_utilisation": EXECUTION_STATS.worker_utilisation,
+        },
         "code_fingerprint": code_fingerprint(),
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),

@@ -1,10 +1,16 @@
 #!/usr/bin/env python
-"""Run every experiment at a given scale and dump results as JSON.
+"""Run experiments at a given scale and dump results (and metrics) as JSON.
 
 Used to produce the paper-vs-measured numbers recorded in EXPERIMENTS.md:
 
     python tools/run_experiments.py default experiments_default.json
     python tools/run_experiments.py default out.json --jobs 4 --no-cache
+    python tools/run_experiments.py --figure fig8 --scale quick --metrics-out m.json
+
+``--figure`` (repeatable) restricts the run to named experiments; the
+default remains "run everything". ``--metrics-out`` / ``--trace-out``
+additionally dump the merged telemetry snapshot and the event trace
+(see repro.telemetry; REPRO_METRICS / REPRO_TRACE are the env defaults).
 """
 
 import argparse
@@ -14,38 +20,91 @@ import time
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.parallel import EXECUTION_STATS
+from repro.telemetry import (
+    TELEMETRY_AGGREGATE,
+    TelemetryAggregate,
+    configure_tracer,
+    get_tracer,
+    metrics_out_from_env,
+    trace_out_from_env,
+    write_metrics,
+)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("scale", nargs="?", default="default")
+    parser.add_argument("scale_arg", nargs="?", default=None, metavar="scale")
     parser.add_argument("output", nargs="?", default="experiments.json")
+    parser.add_argument(
+        "--scale", default=None, help="quick | default | full (or positional)"
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=sorted(EXPERIMENTS),
+        help="run only this experiment (repeatable; default: all)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=None, help="worker processes for fan-out"
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk run cache"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=metrics_out_from_env(),
+        metavar="PATH",
+        help="write the merged telemetry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=trace_out_from_env(),
+        metavar="PATH",
+        help="enable event tracing and write it as JSONL (use --jobs 1 "
+        "for a complete simulation trace)",
+    )
     args = parser.parse_args()
 
+    scale = args.scale or args.scale_arg or "default"
+    names = args.figure or sorted(EXPERIMENTS)
+    if args.trace_out:
+        configure_tracer(enabled=True, run_id="+".join(names))
+
     cache = False if args.no_cache else None
-    results = {"scale": args.scale}
-    for name in sorted(EXPERIMENTS):
+    results = {"scale": scale}
+    overall = TelemetryAggregate()
+    for name in names:
         EXECUTION_STATS.reset()
+        TELEMETRY_AGGREGATE.reset()
         started = time.time()
         value = run_experiment(
-            name, scale=args.scale, quiet=True, jobs=args.jobs, cache=cache
+            name, scale=scale, quiet=True, jobs=args.jobs, cache=cache
         )
         elapsed = time.time() - started
         results[name] = {
             "result": _jsonable(value),
             "seconds": round(elapsed, 1),
             "execution": EXECUTION_STATS.as_dict(),
+            "metrics": TELEMETRY_AGGREGATE.headlines(),
         }
+        for group, snap in TELEMETRY_AGGREGATE.groups().items():
+            overall.add(group, snap)
         print("%s done in %.1fs" % (name, elapsed), flush=True)
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
     print("wrote", args.output)
+    if args.metrics_out:
+        path = write_metrics(
+            args.metrics_out,
+            run={"experiments": names, "scale": scale, "jobs": args.jobs},
+            aggregate=overall,
+        )
+        print("wrote", path)
+    if args.trace_out:
+        count = get_tracer().write_jsonl(args.trace_out)
+        print("wrote %s (%d events)" % (args.trace_out, count))
     return 0
 
 
