@@ -1,0 +1,20 @@
+"""Pytest-collectable microbenchmarks for the simulator's hot paths.
+
+Each case from :mod:`repro.perf.microbench` runs under pytest-benchmark:
+
+    PYTHONPATH=src python -m pytest benchmarks/micro --benchmark-only
+
+The same cases feed ``tools/bench_snapshot.py`` (which records them into
+the benchmark snapshot JSON without needing pytest), so numbers seen here
+and in CI artifacts come from identical workloads.
+"""
+
+import pytest
+
+from repro.perf.microbench import CASES
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_micro_hotpath(benchmark, name):
+    ops = benchmark.pedantic(CASES[name], rounds=3, iterations=1)
+    assert ops > 0

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cache.setassoc import CacheAccessResult, SetAssociativeCache
+from repro.cache.setassoc import (
+    HIT,
+    MISS_CLEAN,
+    CacheAccessResult,
+    SetAssociativeCache,
+)
 from repro.telemetry import get_registry
 from repro.util.units import CACHELINE_BYTES, KIB, MIB
 
@@ -50,6 +55,8 @@ class CacheHierarchy:
         registry = get_registry()
         self._t_metadata_llc_fills = registry.counter("cache.metadata_llc_fills")
         self._t_data_llc_fills = registry.counter("cache.data_llc_fills")
+        # Deferred-telemetry watermarks (see SetAssociativeCache.sync_telemetry).
+        self._synced_fills = [0, 0]
 
     # -- program data ----------------------------------------------------
 
@@ -58,7 +65,6 @@ class CacheHierarchy:
         result = self.llc.access(line_address, is_write)
         if not result.hit:
             self.data_llc_fills += 1
-            self._t_data_llc_fills.inc()
         return result
 
     # -- metadata ----------------------------------------------------------
@@ -76,9 +82,11 @@ class CacheHierarchy:
         """
         dedicated = self.metadata_cache.access(line_address, is_write)
         if dedicated.hit:
-            return CacheAccessResult(hit=True)
+            return HIT
         if not use_llc:
             # Victim of the dedicated fill writes back to memory if dirty.
+            if dedicated.writeback_address is None:
+                return MISS_CLEAN
             return CacheAccessResult(
                 hit=False, writeback_address=dedicated.writeback_address
             )
@@ -86,15 +94,18 @@ class CacheHierarchy:
         llc_result = self.llc.access(line_address, is_write)
         if not llc_result.hit:
             self.metadata_llc_fills += 1
-            self._t_metadata_llc_fills.inc()
         # Spill the dedicated victim into the LLC instead of memory.
         spill_writeback: Optional[int] = None
         if dedicated.writeback_address is not None:
             spill_writeback = self.llc.fill(dedicated.writeback_address, dirty=True)
         if llc_result.hit:
+            if spill_writeback is None:
+                return HIT
             return CacheAccessResult(hit=True, writeback_address=spill_writeback)
         # Miss in both: memory access needed; LLC eviction may add another.
         writeback = llc_result.writeback_address or spill_writeback
+        if writeback is None:
+            return MISS_CLEAN
         return CacheAccessResult(hit=False, writeback_address=writeback)
 
     # -- introspection ----------------------------------------------------
@@ -103,6 +114,7 @@ class CacheHierarchy:
         """Zero the LLC-fill counters (the post-warmup reset)."""
         self.metadata_llc_fills = 0
         self.data_llc_fills = 0
+        self._synced_fills = [0, 0]
         self._t_metadata_llc_fills.reset()
         self._t_data_llc_fills.reset()
 
@@ -111,7 +123,16 @@ class CacheHierarchy:
 
         The metadata-cache occupancy here is the direct observable behind
         the paper's SGX-vs-Synergy metadata-pressure argument (Figs. 9/10).
+        Hit/miss/fill telemetry is recorded deferred (plain ints on the hot
+        path); this is where it reconciles into the registry counters.
         """
+        self.llc.sync_telemetry()
+        self.metadata_cache.sync_telemetry()
+        synced = self._synced_fills
+        self._t_data_llc_fills.inc(self.data_llc_fills - synced[0])
+        self._t_metadata_llc_fills.inc(self.metadata_llc_fills - synced[1])
+        synced[0] = self.data_llc_fills
+        synced[1] = self.metadata_llc_fills
         registry = get_registry()
         registry.gauge("cache.llc.occupancy").set(self.llc.occupancy)
         registry.gauge("cache.metadata.occupancy").set(

@@ -25,6 +25,8 @@ from typing import Callable, Deque, Iterator, Optional, Tuple
 
 from repro.cpu.trace import MemoryOp, Trace, TraceRecord
 
+_READ = MemoryOp.READ
+
 
 @dataclass(frozen=True)
 class CoreParams:
@@ -88,16 +90,30 @@ class CoreModel:
 
         Returns the blocking handle, or None when the core has fully
         retired its trace.
+
+        Hot-path note: fetch state lives in locals inside the loop and is
+        written back to the instance only at return points — ``_retire_until``
+        and the memory callbacks never read ``fetch_time``/``fetched_count``.
         """
         width = self.params.width
         rob = self.params.rob_size
+        core_id = self.core_id
+        read_fn = self._read_fn
+        write_fn = self._write_fn
+        records = self._records
+        retire_until = self._retire_until
+        pending_append = self._pending_reads.append
+        fetch_time = self.fetch_time
+        fetched_count = self.fetched_count
         while True:
             record = self._pending_record
             if record is None:
-                record = next(self._records, None)
+                record = next(records, None)
                 if record is None:
                     # Trace exhausted: retire everything still in flight.
-                    blocked = self._retire_until(self.fetched_count)
+                    self.fetch_time = fetch_time
+                    self.fetched_count = fetched_count
+                    blocked = retire_until(fetched_count)
                     if blocked is not None:
                         self._pending_record = None
                         return blocked
@@ -105,25 +121,33 @@ class CoreModel:
                     return None
             self._pending_record = record
 
-            mem_position = self.fetched_count + record.gap  # the memory op
+            gap = record.gap
+            mem_position = fetched_count + gap  # the memory op
             needed_retired = mem_position + 1 - rob
             if needed_retired > self.retired_count:
-                blocked = self._retire_until(needed_retired)
+                self.fetch_time = fetch_time
+                self.fetched_count = fetched_count
+                blocked = retire_until(needed_retired)
                 if blocked is not None:
                     return blocked
                 # ROB was full: fetch resumes no earlier than the freeing
                 # retirement.
-                if self.retire_time > self.fetch_time:
-                    self.stall_cycles += self.retire_time - self.fetch_time
-                    self.fetch_time = self.retire_time
+                retire_time = self.retire_time
+                if retire_time > fetch_time:
+                    self.stall_cycles += retire_time - fetch_time
+                    fetch_time = retire_time
 
-            self.fetch_time += record.instructions / width
-            self.fetched_count = mem_position + 1
-            if record.op is MemoryOp.READ:
-                handle = self._read_fn(record.line_address, self.fetch_time, self.core_id)
-                self._pending_reads.append((mem_position, handle))
+            fetch_time += (gap + 1) / width
+            fetched_count = mem_position + 1
+            if record.op is _READ:
+                self.fetch_time = fetch_time
+                self.fetched_count = fetched_count
+                handle = read_fn(record.line_address, fetch_time, core_id)
+                pending_append((mem_position, handle))
             else:
-                self._write_fn(record.line_address, self.fetch_time, self.core_id)
+                self.fetch_time = fetch_time
+                self.fetched_count = fetched_count
+                write_fn(record.line_address, fetch_time, core_id)
             self._pending_record = None
 
     # ------------------------------------------------------------------
@@ -135,21 +159,28 @@ class CoreModel:
         state consistent for resumption.
         """
         width = self.params.width
-        while self.retired_count < count:
-            if self._pending_reads and self._pending_reads[0][0] < count:
-                position, handle = self._pending_reads[0]
-                if handle.completion_cpu is None:
+        pending = self._pending_reads
+        retired = self.retired_count
+        retire_time = self.retire_time
+        while retired < count:
+            if pending and pending[0][0] < count:
+                position, handle = pending[0]
+                completion = handle.completion_cpu
+                if completion is None:
+                    self.retired_count = retired
+                    self.retire_time = retire_time
                     return handle
-                gap = position - self.retired_count
-                self.retire_time += gap / width
-                self.retire_time = max(self.retire_time, handle.completion_cpu)
-                self.retire_time += 1.0 / width
-                self.retired_count = position + 1
-                self._pending_reads.popleft()
+                retire_time += (position - retired) / width
+                if completion > retire_time:
+                    retire_time = completion
+                retire_time += 1.0 / width
+                retired = position + 1
+                pending.popleft()
             else:
-                gap = count - self.retired_count
-                self.retire_time += gap / width
-                self.retired_count = count
+                retire_time += (count - retired) / width
+                retired = count
+        self.retired_count = retired
+        self.retire_time = retire_time
         return None
 
     # ------------------------------------------------------------------

@@ -9,13 +9,20 @@ locality:
 
 This is USIMM's default-style interleaving; the sensitivity study of
 Fig. 12 only varies the channel count.
+
+``decode_fast`` is the controller's per-request entry point: it returns a
+plain tuple and, when every geometry factor is a power of two (the default
+and every configuration in the paper), uses precomputed shifts and masks
+instead of div/mod chains.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.dram.timing import MemoryConfig
+from repro.util.units import is_power_of_two, log2_int
 
 
 @dataclass(frozen=True)
@@ -34,9 +41,40 @@ class AddressMapper:
 
     def __init__(self, config: MemoryConfig):
         self.config = config
+        factors = (
+            config.channels,
+            config.lines_per_row,
+            config.banks_per_rank,
+            config.ranks_per_channel,
+            config.rows_per_bank,
+        )
+        self._pow2 = all(is_power_of_two(factor) for factor in factors)
+        if self._pow2:
+            self._total_mask = config.total_lines - 1
+            self._channel_mask = config.channels - 1
+            self._channel_shift = log2_int(config.channels)
+            self._column_mask = config.lines_per_row - 1
+            self._column_shift = log2_int(config.lines_per_row)
+            self._bank_mask = config.banks_per_rank - 1
+            self._bank_shift = log2_int(config.banks_per_rank)
+            self._rank_mask = config.ranks_per_channel - 1
+            self._rank_shift = log2_int(config.ranks_per_channel)
+            self._row_mask = config.rows_per_bank - 1
 
-    def decode(self, line_address: int) -> DecodedAddress:
-        """Split a line address into DRAM coordinates (wraps modulo size)."""
+    def decode_fast(self, line_address: int) -> Tuple[int, int, int, int, int]:
+        """``(channel, rank, bank, row, column)`` of a line, as a tuple."""
+        if self._pow2:
+            remaining = line_address & self._total_mask
+            channel = remaining & self._channel_mask
+            remaining >>= self._channel_shift
+            column = remaining & self._column_mask
+            remaining >>= self._column_shift
+            bank = remaining & self._bank_mask
+            remaining >>= self._bank_shift
+            rank = remaining & self._rank_mask
+            remaining >>= self._rank_shift
+            row = remaining & self._row_mask
+            return channel, rank, bank, row, column
         config = self.config
         remaining = line_address % config.total_lines
         channel = remaining % config.channels
@@ -48,8 +86,11 @@ class AddressMapper:
         rank = remaining % config.ranks_per_channel
         remaining //= config.ranks_per_channel
         row = remaining % config.rows_per_bank
-        decoded = DecodedAddress(channel, rank, bank, row, column)
-        return decoded
+        return channel, rank, bank, row, column
+
+    def decode(self, line_address: int) -> DecodedAddress:
+        """Split a line address into DRAM coordinates (wraps modulo size)."""
+        return DecodedAddress(*self.decode_fast(line_address))
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Inverse of :meth:`decode`."""

@@ -3,6 +3,11 @@
 The channel tracks per-bank state plus data-bus occupancy and computes, for
 a candidate request, the earliest (start, data_start, completion) triple that
 respects bank timing, bus availability, and read/write turnaround.
+
+Hot-path notes: ``plan``/``commit`` run once per scheduled request; the
+timing constants they consult are bound to attributes in ``__init__`` and
+row classification reads ``open_row`` directly instead of going through the
+string-returning ``classify``.
 """
 
 from __future__ import annotations
@@ -30,10 +35,22 @@ class ChannelState:
             [] for _ in range(config.ranks_per_channel)
         ]
         self.refresh_stall_cycles = 0
+        # Bound once: consulted on every plan/commit.
+        timing = config.timing
+        self._banks_per_rank = config.banks_per_rank
+        self._model_refresh = config.model_refresh
+        self._model_faw = config.model_faw
+        self._t_refi = timing.t_refi
+        self._t_rfc = timing.t_rfc
+        self._t_rrd = timing.t_rrd
+        self._t_faw = timing.t_faw
+        self._t_wtr = timing.t_wtr
+        self._t_rtw = timing.t_rtw
+        self._t_burst = timing.t_burst
 
     def flat_bank(self, rank: int, bank: int) -> int:
         """Flatten (rank, bank) into a channel-local bank index."""
-        return rank * self.config.banks_per_rank + bank
+        return rank * self._banks_per_rank + bank
 
     # -- refresh ------------------------------------------------------------
 
@@ -44,12 +61,11 @@ class ChannelState:
         the blackout as channel-wide (ranks refresh staggered in reality —
         a second-order detail).
         """
-        if not self.config.model_refresh:
+        if not self._model_refresh:
             return start
-        timing = self.timing
-        phase = start % timing.t_refi
-        if phase < timing.t_rfc:
-            shifted = start + (timing.t_rfc - phase)
+        phase = start % self._t_refi
+        if phase < self._t_rfc:
+            shifted = start + (self._t_rfc - phase)
             self.refresh_stall_cycles += shifted - start
             return shifted
         return start
@@ -58,14 +74,17 @@ class ChannelState:
 
     def _after_faw(self, rank: int, start: int, will_activate: bool) -> int:
         """Respect tFAW (max 4 ACTs per rolling window) and tRRD."""
-        if not self.config.model_faw or not will_activate:
+        if not self._model_faw or not will_activate:
             return start
-        timing = self.timing
         history = self._recent_activates[rank]
         if history:
-            start = max(start, history[-1] + timing.t_rrd)
-        if len(history) >= 4:
-            start = max(start, history[-4] + timing.t_faw)
+            after_rrd = history[-1] + self._t_rrd
+            if after_rrd > start:
+                start = after_rrd
+            if len(history) >= 4:
+                after_faw = history[-4] + self._t_faw
+                if after_faw > start:
+                    start = after_faw
         return start
 
     def plan(
@@ -75,25 +94,24 @@ class ChannelState:
 
         Pure computation — does not commit any state.
         """
-        timing = self.timing
-        bank_state = self.banks[self.flat_bank(rank, bank)]
+        bank_state = self.banks[rank * self._banks_per_rank + bank]
         start = bank_state.earliest_start(now)
-        will_activate = bank_state.classify(row) != "hit"
+        will_activate = bank_state.open_row != row
         start = self._after_refresh(start)
-        start = self._after_faw(rank, start, will_activate)
+        if will_activate:
+            start = self._after_faw(rank, start, True)
         latency = bank_state.access_latency(row, is_write)
         data_start = start + latency
-        turnaround = 0
-        if self.last_was_write and not is_write:
-            turnaround = timing.t_wtr
-        elif not self.last_was_write and is_write:
-            turnaround = timing.t_rtw
+        if is_write:
+            turnaround = 0 if self.last_was_write else self._t_rtw
+        else:
+            turnaround = self._t_wtr if self.last_was_write else 0
         earliest_bus = self.bus_free_at + turnaround
         if data_start < earliest_bus:
             shift = earliest_bus - data_start
             start += shift
             data_start += shift
-        completion = data_start + timing.t_burst
+        completion = data_start + self._t_burst
         return start, data_start, completion
 
     def commit(
@@ -101,8 +119,8 @@ class ChannelState:
     ) -> None:
         """Apply a previously planned access to bank and bus state."""
         start, data_start, completion = plan
-        bank_state = self.banks[self.flat_bank(rank, bank)]
-        if self.config.model_faw and bank_state.classify(row) != "hit":
+        bank_state = self.banks[rank * self._banks_per_rank + bank]
+        if self._model_faw and bank_state.open_row != row:
             history = self._recent_activates[rank]
             history.append(start)
             if len(history) > 8:
@@ -114,7 +132,7 @@ class ChannelState:
 
     def is_row_hit(self, rank: int, bank: int, row: int) -> bool:
         """Does ``row`` currently sit in the bank's row buffer?"""
-        return self.banks[self.flat_bank(rank, bank)].classify(row) == "hit"
+        return self.banks[rank * self._banks_per_rank + bank].open_row == row
 
     @property
     def row_hit_rate(self) -> float:

@@ -14,14 +14,23 @@ by watermarks. Command-bus serialisation is modelled at one command per
 cycle; rank-level constraints (tFAW/tRRD) are intentionally omitted
 (second-order for the traffic-volume effects this reproduction targets —
 see DESIGN.md).
+
+Hot-path notes: ``enqueue`` and the per-decision ``_choose`` loop run once
+per memory request and once per scheduling decision respectively — millions
+of times per grid cell. Request is a ``__slots__`` class with ``is_write``
+precomputed, per-(category, kind) stat counters are bound once in a lookup
+table instead of string-formatted per request, the candidate scan reads
+bank state directly against precomputed latency constants, and the pools
+are deques so removing the chosen request near the head is O(WINDOW), not
+O(queue).
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.address import AddressMapper
 from repro.dram.channel import ChannelState
@@ -43,35 +52,75 @@ class RequestKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
+_WRITE = RequestKind.WRITE
+
+
 class Request:
     """One cacheline-sized memory request."""
 
-    kind: RequestKind
-    line_address: int
-    arrival: int
-    category: str = "data"  #: data | counter | mac | parity | tree
-    core: int = 0
-    channel: int = 0
-    rank: int = 0
-    bank: int = 0
-    row: int = 0
-    flat_bank: int = 0  #: channel-local bank index, precomputed
-    completion: Optional[int] = None
-    sequence: int = 0
+    __slots__ = (
+        "kind",
+        "line_address",
+        "arrival",
+        "category",
+        "core",
+        "channel",
+        "rank",
+        "bank",
+        "row",
+        "flat_bank",
+        "completion",
+        "sequence",
+        "is_write",
+    )
 
-    @property
-    def is_write(self) -> bool:
-        """Whether this is a write."""
-        return self.kind is RequestKind.WRITE
+    def __init__(
+        self,
+        kind: RequestKind,
+        line_address: int,
+        arrival: int,
+        category: str = "data",  #: data | counter | mac | parity | tree
+        core: int = 0,
+        channel: int = 0,
+        rank: int = 0,
+        bank: int = 0,
+        row: int = 0,
+        flat_bank: int = 0,  #: channel-local bank index, precomputed
+        completion: Optional[int] = None,
+        sequence: int = 0,
+    ):
+        self.kind = kind
+        self.line_address = line_address
+        self.arrival = arrival
+        self.category = category
+        self.core = core
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.flat_bank = flat_bank
+        self.completion = completion
+        self.sequence = sequence
+        self.is_write = kind is _WRITE
+
+    def __repr__(self) -> str:
+        return "Request(%s line=%d arrival=%d category=%s completion=%s)" % (
+            self.kind.value,
+            self.line_address,
+            self.arrival,
+            self.category,
+            self.completion,
+        )
 
 
-@dataclass
 class _ChannelQueues:
-    incoming: List = field(default_factory=list)  # heap of (arrival, seq, req)
-    reads: List[Request] = field(default_factory=list)
-    writes: List[Request] = field(default_factory=list)
-    last_command_start: int = -1
+    __slots__ = ("incoming", "reads", "writes", "last_command_start")
+
+    def __init__(self) -> None:
+        self.incoming: List = []  # heap of (arrival, seq, req)
+        self.reads: Deque[Request] = deque()
+        self.writes: Deque[Request] = deque()
+        self.last_command_start = -1
 
 
 class MemoryController:
@@ -80,6 +129,20 @@ class MemoryController:
     def __init__(self, config: MemoryConfig):
         self.config = config
         self.mapper = AddressMapper(config)
+        # Inlined power-of-two decode for enqueue: same arithmetic as
+        # AddressMapper.decode_fast, but with the channel/column shifts
+        # folded together (enqueue never needs the column) and no call.
+        mapper = self.mapper
+        self._pow2_decode = getattr(mapper, "_pow2", False)
+        if self._pow2_decode:
+            self._dec_total_mask = mapper._total_mask
+            self._dec_channel_mask = mapper._channel_mask
+            self._dec_bank_shift = mapper._channel_shift + mapper._column_shift
+            self._dec_bank_mask = mapper._bank_mask
+            self._dec_rank_shift = self._dec_bank_shift + mapper._bank_shift
+            self._dec_rank_mask = mapper._rank_mask
+            self._dec_row_shift = self._dec_rank_shift + mapper._rank_shift
+            self._dec_row_mask = mapper._row_mask
         self.channels = [ChannelState(config) for _ in range(config.channels)]
         self.schedulers = [
             FrFcfsScheduler(config.write_drain_high, config.write_drain_low)
@@ -87,10 +150,29 @@ class MemoryController:
         ]
         self._queues = [_ChannelQueues() for _ in range(config.channels)]
         self._sequence = 0
+        self._banks_per_rank = config.banks_per_rank
         self.stats = StatGroup("memory_controller")
+        #: (category, kind) -> (requests_<kind>, traffic_<category>_<kind>)
+        #: counters, built lazily so enqueue never string-formats.
+        self._traffic_counters: Dict[Tuple[str, RequestKind], Tuple] = {}
+        # Per-direction latency stats, bound once instead of per record.
+        self._h_read_latency = self.stats.histogram("read_latency")
+        self._h_write_latency = self.stats.histogram("write_latency")
+        self._c_data_bus_cycles = self.stats.counter("data_bus_cycles")
+        # Candidate-scan latency constants (identical across banks; see
+        # BankState.access_latency).
+        timing = config.timing
+        self._lat_hit_read = timing.t_cl
+        self._lat_hit_write = timing.t_cwl
+        self._lat_closed_read = timing.t_rcd + timing.t_cl
+        self._lat_closed_write = timing.t_rcd + timing.t_cwl
+        self._lat_miss_read = timing.t_rp + timing.t_rcd + timing.t_cl
+        self._lat_miss_write = timing.t_rp + timing.t_rcd + timing.t_cwl
         registry = get_registry()
         self._t_row_hits = registry.counter("dram.row_hits")
         self._t_row_misses = registry.counter("dram.row_misses")
+        # Deferred-telemetry watermarks (see record_telemetry).
+        self._synced_rows = [0, 0]
         self._t_queue_depth = registry.histogram(
             "dram.queue_depth", QUEUE_DEPTH_EDGES
         )
@@ -100,8 +182,24 @@ class MemoryController:
         self._t_write_latency = registry.histogram(
             "dram.write_latency_cycles", LATENCY_EDGES
         )
+        # Deferred histogram accumulators: the hot path tallies integer
+        # observations as value -> weight and record_telemetry flushes them
+        # weight-batched. All three record int cycles/depths, so the
+        # batched sums are bit-identical to per-event recording.
+        self._depth_acc: Dict[int, int] = {}
+        self._read_lat_acc: Dict[int, int] = {}
+        self._write_lat_acc: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
+
+    def _counters_for(self, category: str, kind: RequestKind) -> Tuple:
+        """Bind the request/traffic counters for one (category, kind)."""
+        counters = (
+            self.stats.counter("requests_%s" % kind.value),
+            self.stats.counter("traffic_%s_%s" % (category, kind.value)),
+        )
+        self._traffic_counters[(category, kind)] = counters
+        return counters
 
     def enqueue(
         self,
@@ -112,25 +210,42 @@ class MemoryController:
         core: int = 0,
     ) -> Request:
         """Add a request; its ``completion`` is set by :meth:`process`."""
-        decoded = self.mapper.decode(line_address)
-        self._sequence += 1
+        if self._pow2_decode:
+            masked = line_address & self._dec_total_mask
+            channel = masked & self._dec_channel_mask
+            bank = (masked >> self._dec_bank_shift) & self._dec_bank_mask
+            rank = (masked >> self._dec_rank_shift) & self._dec_rank_mask
+            row = (masked >> self._dec_row_shift) & self._dec_row_mask
+        else:
+            channel, rank, bank, row, _column = self.mapper.decode_fast(
+                line_address
+            )
+        sequence = self._sequence + 1
+        self._sequence = sequence
         request = Request(
-            kind=kind,
-            line_address=line_address,
-            arrival=arrival,
-            category=category,
-            core=core,
-            channel=decoded.channel,
-            rank=decoded.rank,
-            bank=decoded.bank,
-            row=decoded.row,
-            flat_bank=decoded.rank * self.config.banks_per_rank + decoded.bank,
-            sequence=self._sequence,
+            kind,
+            line_address,
+            arrival,
+            category,
+            core,
+            channel,
+            rank,
+            bank,
+            row,
+            rank * self._banks_per_rank + bank,
+            None,
+            sequence,
         )
-        queues = self._queues[decoded.channel]
-        heapq.heappush(queues.incoming, (arrival, request.sequence, request))
-        self.stats.counter("requests_%s" % kind.value).add()
-        self.stats.counter("traffic_%s_%s" % (category, kind.value)).add()
+        queues = self._queues[channel]
+        heapq.heappush(queues.incoming, (arrival, sequence, request))
+        try:
+            counters = self._traffic_counters[(category, kind)]
+        except KeyError:
+            counters = self._counters_for(category, kind)
+        # Unit increments: bump the slots directly, skipping Counter.add's
+        # sign check on the per-request path.
+        counters[0].value += 1
+        counters[1].value += 1
         return request
 
     # ------------------------------------------------------------------
@@ -144,49 +259,67 @@ class MemoryController:
         channel = self.channels[channel_index]
         scheduler = self.schedulers[channel_index]
         queues = self._queues[channel_index]
+        incoming = queues.incoming
+        reads = queues.reads
+        writes = queues.writes
+        heappop = heapq.heappop
+        choose = self._choose
+        depth_acc = self._depth_acc
 
-        while queues.incoming or queues.reads or queues.writes:
-            if not queues.reads and not queues.writes:
+        while incoming or reads or writes:
+            if not reads and not writes:
                 # Idle: jump to the next arrival.
-                arrival, _seq, request = heapq.heappop(queues.incoming)
-                self._admit(queues, request)
+                arrival, _seq, request = heappop(incoming)
+                (writes if request.is_write else reads).append(request)
                 horizon = arrival
             else:
                 horizon = queues.last_command_start + 1
             # Admit everything that has arrived by the current horizon.
-            self._admit_until(queues, horizon)
+            while incoming and incoming[0][0] <= horizon:
+                _arrival, _seq, request = heappop(incoming)
+                (writes if request.is_write else reads).append(request)
 
-            chosen, choice = self._choose(channel, scheduler, queues, horizon)
+            chosen, choice = choose(channel, scheduler, queues, horizon)
             if chosen is None:
                 continue
             plan, pool, pool_index = choice
             # Late arrivals before the chosen command start could alter the
             # decision; admit them and re-choose once.
-            if queues.incoming and queues.incoming[0][0] <= plan[0]:
-                self._admit_until(queues, plan[0])
-                chosen, choice = self._choose(channel, scheduler, queues, horizon)
+            if incoming and incoming[0][0] <= plan[0]:
+                until = plan[0]
+                while incoming and incoming[0][0] <= until:
+                    _arrival, _seq, request = heappop(incoming)
+                    (writes if request.is_write else reads).append(request)
+                chosen, choice = choose(channel, scheduler, queues, horizon)
                 if chosen is None:
                     continue
                 plan, pool, pool_index = choice
 
-            self._t_queue_depth.record(len(queues.reads) + len(queues.writes))
-            if channel.banks[chosen.flat_bank].classify(chosen.row) == "hit":
-                self._t_row_hits.inc()
-            else:
-                self._t_row_misses.inc()
+            depth = len(reads) + len(writes)
+            try:
+                depth_acc[depth] += 1
+            except KeyError:
+                depth_acc[depth] = 1
             channel.commit(chosen.rank, chosen.bank, chosen.row, chosen.is_write, plan)
             chosen.completion = plan[2]
             queues.last_command_start = plan[0]
-            pool.pop(pool_index)
+            if pool_index == 0:
+                pool.popleft()
+            else:
+                del pool[pool_index]
             self._record(chosen, plan)
 
     def _admit(self, queues: _ChannelQueues, request: Request) -> None:
         (queues.writes if request.is_write else queues.reads).append(request)
 
     def _admit_until(self, queues: _ChannelQueues, horizon: int) -> None:
-        while queues.incoming and queues.incoming[0][0] <= horizon:
-            _arrival, _seq, request = heapq.heappop(queues.incoming)
-            self._admit(queues, request)
+        incoming = queues.incoming
+        reads = queues.reads
+        writes = queues.writes
+        heappop = heapq.heappop
+        while incoming and incoming[0][0] <= horizon:
+            _arrival, _seq, request = heappop(incoming)
+            (writes if request.is_write else reads).append(request)
 
     #: Scheduler candidate window: only the oldest WINDOW queued requests
     #: are considered per decision (real FR-FCFS pickers have bounded
@@ -198,45 +331,118 @@ class MemoryController:
 
         The key is estimated cheaply from bank state alone (the data-bus
         shift is common to all candidates); the full plan is computed once,
-        for the winner.
+        for the winner. The candidate scan is the single hottest loop in
+        the simulator — it binds everything it touches to locals and reads
+        bank state directly rather than through method calls.
         """
-        scheduler.update_drain_mode(len(queues.writes), len(queues.reads))
-        use_writes = scheduler.draining and queues.writes
-        pool = queues.writes if use_writes else queues.reads
+        writes = queues.writes
+        reads = queues.reads
+        # Drain hysteresis inlined from FrFcfsScheduler.update_drain_mode
+        # (same transitions, same telemetry on entering a drain burst).
+        write_depth = len(writes)
+        draining = scheduler.draining
+        was_draining = draining
+        if draining:
+            if write_depth <= scheduler.drain_low:
+                draining = False
+        else:
+            if write_depth >= scheduler.drain_high:
+                draining = True
+        if write_depth and not reads:
+            # Opportunistic writes when the channel would otherwise idle.
+            draining = True
+        if draining != was_draining:
+            scheduler.draining = draining
+            if draining:
+                scheduler._t_drain_bursts.inc()
+                scheduler._t_write_queue_depth.record(write_depth)
+        pool = writes if (draining and write_depth) else reads
         if not pool:
-            pool = queues.writes or queues.reads
+            pool = writes or reads
         if not pool:
             return None, None
         banks = channel.banks
-        best = None
-        best_index = -1
-        best_key = None
-        for index, request in enumerate(pool[: self.WINDOW]):
-            bank = banks[request.flat_bank]
-            earliest = request.arrival
+        if len(pool) == 1:
+            # Single candidate: no scan, straight to the plan.
+            best = pool[0]
+            earliest = best.arrival
             if horizon > earliest:
                 earliest = horizon
-            if bank.ready_at > earliest:
-                earliest = bank.ready_at
-            estimate = earliest + bank.access_latency(request.row, request.is_write)
-            key = (estimate, request.arrival, request.sequence)
-            if best_key is None or key < best_key:
-                best, best_index, best_key = request, index, key
-        earliest = max(horizon, best.arrival)
+            plan = channel.plan(
+                best.rank, best.bank, best.row, best.is_write, earliest
+            )
+            return best, (plan, pool, 0)
+        window = self.WINDOW
+        lat_hit_read = self._lat_hit_read
+        lat_hit_write = self._lat_hit_write
+        lat_closed_read = self._lat_closed_read
+        lat_closed_write = self._lat_closed_write
+        lat_miss_read = self._lat_miss_read
+        lat_miss_write = self._lat_miss_write
+        best = None
+        best_index = -1
+        best_estimate = best_arrival = best_sequence = 0
+        index = 0
+        for request in pool:
+            if index >= window:
+                break
+            bank = banks[request.flat_bank]
+            arrival = request.arrival
+            earliest = arrival if arrival > horizon else horizon
+            ready = bank.ready_at
+            if ready > earliest:
+                earliest = ready
+            open_row = bank.open_row
+            is_write = request.is_write
+            if open_row is None:
+                latency = lat_closed_write if is_write else lat_closed_read
+            elif open_row == request.row:
+                latency = lat_hit_write if is_write else lat_hit_read
+            else:
+                latency = lat_miss_write if is_write else lat_miss_read
+            estimate = earliest + latency
+            if (
+                best is None
+                or estimate < best_estimate
+                or (
+                    estimate == best_estimate
+                    and (
+                        arrival < best_arrival
+                        or (
+                            arrival == best_arrival
+                            and request.sequence < best_sequence
+                        )
+                    )
+                )
+            ):
+                best = request
+                best_index = index
+                best_estimate = estimate
+                best_arrival = arrival
+                best_sequence = request.sequence
+            index += 1
+        earliest = best.arrival
+        if horizon > earliest:
+            earliest = horizon
         plan = channel.plan(best.rank, best.bank, best.row, best.is_write, earliest)
         return best, (plan, pool, best_index)
 
     def _record(self, request: Request, plan) -> None:
-        start, data_start, completion = plan
-        del start
+        _start, data_start, completion = plan
         latency = completion - request.arrival
         if request.is_write:
-            self.stats.histogram("write_latency").record(latency)
-            self._t_write_latency.record(latency)
+            self._h_write_latency.record(latency)
+            acc = self._write_lat_acc
         else:
-            self.stats.histogram("read_latency").record(latency)
-            self._t_read_latency.record(latency)
-        self.stats.counter("data_bus_cycles").add(completion - data_start)
+            self._h_read_latency.record(latency)
+            acc = self._read_lat_acc
+        try:
+            acc[latency] += 1
+        except KeyError:
+            acc[latency] = 1
+        # Always-positive increment: bump the slot directly, skipping the
+        # Counter.add sign check on the per-request path.
+        self._c_data_bus_cycles.value += completion - data_start
 
     # ------------------------------------------------------------------
 
@@ -259,7 +465,35 @@ class MemoryController:
         Gauges aggregate as count/sum/min/max, so the per-bank observations
         expose utilisation imbalance (hot banks) after merging, not just
         the mean.
+
+        Row-hit/miss and activation telemetry is recorded deferred: the
+        hot path bumps the per-bank plain ints and this reconciles the
+        registry counters (idempotently) before the snapshot. A scheduled
+        request is a row hit at decision time iff its bank access commits
+        as one, so the bank sums equal the per-decision counts.
         """
+        row_hits = 0
+        row_misses = 0
+        for channel_state in self.channels:
+            for bank in channel_state.banks:
+                row_hits += bank.row_hits
+                row_misses += bank.row_misses
+                bank.sync_telemetry()
+        synced = self._synced_rows
+        self._t_row_hits.inc(row_hits - synced[0])
+        self._t_row_misses.inc(row_misses - synced[1])
+        synced[0] = row_hits
+        synced[1] = row_misses
+        # Flush the deferred histogram accumulators (weight-batched; all
+        # integer observations, so batching is bit-exact).
+        for acc, histogram in (
+            (self._depth_acc, self._t_queue_depth),
+            (self._read_lat_acc, self._t_read_latency),
+            (self._write_lat_acc, self._t_write_latency),
+        ):
+            for value, weight in acc.items():
+                histogram.record(value, weight)
+            acc.clear()
         registry = get_registry()
         last = self.last_completion
         if last > 0:

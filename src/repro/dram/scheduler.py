@@ -17,6 +17,14 @@ from repro.telemetry import get_registry
 class FrFcfsScheduler:
     """Pick the next request for one channel."""
 
+    __slots__ = (
+        "drain_high",
+        "drain_low",
+        "draining",
+        "_t_drain_bursts",
+        "_t_write_queue_depth",
+    )
+
     def __init__(self, drain_high: int, drain_low: int):
         self.drain_high = drain_high
         self.drain_low = drain_low

@@ -1,0 +1,10 @@
+"""Performance measurement: microbenchmarks and profiling helpers.
+
+This package exists so the perf tooling (``benchmarks/micro``,
+``tools/profile_run.py``, ``tools/bench_snapshot.py``) shares one set of
+deterministic hot-path workloads instead of each inventing its own.
+"""
+
+from repro.perf.microbench import CASES, MicroResult, run_all, run_case
+
+__all__ = ["CASES", "MicroResult", "run_all", "run_case"]

@@ -1,0 +1,201 @@
+"""Deterministic microbenchmarks for the simulator's hot paths.
+
+Each case exercises exactly one per-event code path in isolation — the
+paths ``tools/profile_run.py`` shows dominating end-to-end runtime — with
+a fixed synthetic workload (LCG address streams, no wall-clock or RNG
+dependence), so per-op timings are comparable across runs and across code
+versions:
+
+* ``cache_access``      — :class:`SetAssociativeCache` lookup/allocate
+* ``controller_schedule`` — enqueue + FR-FCFS scheduling to completion
+* ``rob_advance``       — trace-driven core fetch/retire with resolved reads
+* ``miss_expansion``    — secure-engine metadata expansion of LLC misses
+* ``telemetry_record``  — counter/histogram recording through a registry
+
+Cases return their op count; the harness times them (best-of-N
+``perf_counter``) and reports microseconds per op. Consumed by the pytest
+wrappers in ``benchmarks/micro`` and by ``tools/bench_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List
+
+#: LCG constants (glibc); enough quality for address-stream mixing.
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_M = 1 << 31
+
+
+def _addresses(count: int, footprint: int, seed: int = 17) -> List[int]:
+    """A reproducible pseudo-random line-address stream."""
+    state = seed
+    out = []
+    append = out.append
+    for _ in range(count):
+        state = (state * _LCG_A + _LCG_C) % _LCG_M
+        append(state % footprint)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Cases — each builds its state, runs the hot loop, returns the op count.
+# ---------------------------------------------------------------------------
+
+
+def cache_access() -> int:
+    """LLC-shaped lookups over a footprint 2x the cache (hit/miss mix)."""
+    from repro.cache.setassoc import SetAssociativeCache
+
+    cache = SetAssociativeCache(4096, 8, "microbench")
+    stream = _addresses(50_000, 8192)
+    access = cache.access
+    write = False
+    for line in stream:
+        access(line, write)
+        write = not write
+    return len(stream)
+
+
+def controller_schedule() -> int:
+    """Enqueue a request stream and schedule it to completion."""
+    from repro.dram.controller import MemoryController, RequestKind
+    from repro.dram.timing import MemoryConfig
+
+    controller = MemoryController(MemoryConfig())
+    stream = _addresses(20_000, 1 << 22, seed=29)
+    enqueue = controller.enqueue
+    read = RequestKind.READ
+    write = RequestKind.WRITE
+    arrival = 0
+    for index, line in enumerate(stream):
+        kind = write if index % 3 == 0 else read
+        enqueue(kind, line, arrival)
+        arrival += 2
+    controller.process()
+    return len(stream)
+
+
+def rob_advance() -> int:
+    """Drive one core through a synthetic trace with instantly-resolved reads."""
+    from repro.cpu.rob import AccessHandle, CoreModel
+    from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+
+    stream = _addresses(30_000, 1 << 20, seed=41)
+    records = [
+        TraceRecord(
+            gap=(line % 7),
+            op=MemoryOp.READ if line % 4 else MemoryOp.WRITE,
+            line_address=line,
+        )
+        for line in stream
+    ]
+    trace = Trace(records, "microbench")
+
+    def read_fn(_line: int, cpu_time: float, _core: int) -> AccessHandle:
+        return AccessHandle(cpu_time + 200.0)
+
+    def write_fn(_line: int, _cpu_time: float, _core: int) -> None:
+        return None
+
+    core = CoreModel(0, trace, read_fn, write_fn)
+    while not core.done:
+        core.advance()
+    return len(records)
+
+
+def miss_expansion() -> int:
+    """Secure-engine metadata expansion (Synergy design) of LLC read misses."""
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.dram.controller import MemoryController
+    from repro.dram.timing import MemoryConfig
+    from repro.secure.designs import SYNERGY
+    from repro.secure.timing_engine import SecureTimingEngine
+
+    hierarchy = CacheHierarchy()
+    controller = MemoryController(MemoryConfig())
+    engine = SecureTimingEngine(SYNERGY, hierarchy, controller, 1 << 24)
+    stream = _addresses(10_000, 1 << 22, seed=53)
+    expand = engine.expand_read_miss
+    when = 0
+    for line in stream:
+        expand(line, when, 0)
+        when += 10
+    return len(stream)
+
+
+def telemetry_record() -> int:
+    """Counter increments + histogram records through an enabled registry."""
+    from repro.telemetry import scoped_registry
+
+    iterations = 50_000
+    with scoped_registry(enabled=True) as registry:
+        counter = registry.counter("microbench.events")
+        histogram = registry.histogram(
+            "microbench.latency", (16, 32, 64, 128, 256, 512)
+        )
+        inc = counter.inc
+        record = histogram.record
+        value = 3
+        for _ in range(iterations):
+            inc()
+            record(value)
+            value = (value * 5 + 1) % 600
+    return 2 * iterations
+
+
+CASES: Dict[str, Callable[[], int]] = {
+    "cache_access": cache_access,
+    "controller_schedule": controller_schedule,
+    "rob_advance": rob_advance,
+    "miss_expansion": miss_expansion,
+    "telemetry_record": telemetry_record,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MicroResult:
+    """Best-of-N timing of one case."""
+
+    name: str
+    ops: int
+    best_s: float
+
+    @property
+    def per_op_us(self) -> float:
+        """Microseconds per operation (best round)."""
+        return 1e6 * self.best_s / self.ops if self.ops else 0.0
+
+    def to_payload(self) -> Dict[str, float]:
+        """JSON-ready summary."""
+        return {
+            "ops": self.ops,
+            "best_s": self.best_s,
+            "per_op_us": self.per_op_us,
+        }
+
+
+def run_case(name: str, repeats: int = 3) -> MicroResult:
+    """Time one case, best of ``repeats`` rounds."""
+    case = CASES[name]
+    best = None
+    ops = 0
+    for _ in range(max(1, repeats)):
+        start = perf_counter()
+        ops = case()
+        elapsed = perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return MicroResult(name, ops, best or 0.0)
+
+
+def run_all(repeats: int = 3) -> List[MicroResult]:
+    """Time every case in name order."""
+    return [run_case(name, repeats) for name in sorted(CASES)]

@@ -42,6 +42,10 @@ SPLIT_COVERAGE = 64
 MAC_COVERAGE = 8
 PARITY_COVERAGE = 8
 
+#: Enum members bound once — the expansion paths touch these per request.
+_READ = RequestKind.READ
+_WRITE = RequestKind.WRITE
+
 
 class TimingMetadataMap:
     """Metadata line addresses for the timing plane.
@@ -86,6 +90,9 @@ class TimingMetadataMap:
                 break
             size = -(-size // TREE_ARITY)
         self.total_lines = cursor
+        #: Memoised leaf-index -> root path (paths repeat heavily: adjacent
+        #: metadata lines share all but the lowest tree levels).
+        self._tree_path_cache: dict = {}
 
     def counter_line(self, data_line: int) -> int:
         """Counter line covering a data line."""
@@ -110,11 +117,15 @@ class TimingMetadataMap:
         return self._tree_path(index)
 
     def _tree_path(self, leaf_index: int) -> List[int]:
+        path = self._tree_path_cache.get(leaf_index)
+        if path is not None:
+            return path
         path = []
         index = leaf_index
         for base, size in zip(self.tree_level_bases, self.tree_level_sizes):
             index //= TREE_ARITY
             path.append(base + min(index, size - 1))
+        self._tree_path_cache[leaf_index] = path
         return path
 
 
@@ -157,6 +168,20 @@ class SecureTimingEngine:
         self._t_metadata_accesses = registry.counter("secure.metadata_accesses")
         self._t_counter_hits = registry.counter("secure.counter_hits")
         self._t_mac_hits = registry.counter("secure.mac_hits")
+        self._c_counter_hits = self.stats.counter("counter_hits")
+        self._c_mac_hits = self.stats.counter("mac_hits")
+        # Deferred telemetry (see sync_telemetry): the per-access paths
+        # bump plain ints / tally dicts; the registry objects are only
+        # touched at snapshot time.
+        self._n_metadata_accesses = 0
+        self._n_counter_hits = 0
+        self._n_mac_hits = 0
+        self._synced_telemetry = [0, 0, 0]
+        self._tree_depth_acc: dict = {}
+        self._mac_tree_depth_acc: dict = {}
+        #: (origin, category, kind) -> bound accounting counter; built
+        #: lazily so the per-request path never string-formats.
+        self._account_counters: dict = {}
         from collections import deque
 
         self._writeback_queue = deque()
@@ -190,28 +215,35 @@ class SecureTimingEngine:
         return "writeback" if self._in_writeback_path else "demand"
 
     def _account(self, category: str, kind: RequestKind) -> None:
-        self.stats.counter(
-            "%s_%s_%s" % (self._origin, category, kind.value)
-        ).add()
+        key = (self._in_writeback_path, category, kind)
+        counter = self._account_counters.get(key)
+        if counter is None:
+            counter = self.stats.counter(
+                "%s_%s_%s" % (self._origin, category, kind.value)
+            )
+            self._account_counters[key] = counter
+        # Unit increment: bump the slot directly (skips Counter.add's
+        # sign check on the per-request path).
+        counter.value += 1
         if category != "data":
-            self._t_metadata_accesses.inc()
+            self._n_metadata_accesses += 1
 
     def _emit_read(
         self, out: ExpandedAccess, line: int, when: int, category: str, core: int
     ) -> None:
-        self._account(category, RequestKind.READ)
+        self._account(category, _READ)
         out.blocking.append(
-            self.controller.enqueue(RequestKind.READ, line, when, category, core)
+            self.controller.enqueue(_READ, line, when, category, core)
         )
 
     def _emit_rmw_read(self, line: int, when: int, category: str, core: int) -> None:
         """A posted read (RMW fetch) that gates nothing."""
-        self._account(category, RequestKind.READ)
-        self.controller.enqueue(RequestKind.READ, line, when, category, core)
+        self._account(category, _READ)
+        self.controller.enqueue(_READ, line, when, category, core)
 
     def _emit_write(self, line: int, when: int, category: str, core: int) -> None:
-        self._account(category, RequestKind.WRITE)
-        self.controller.enqueue(RequestKind.WRITE, line, when, category, core)
+        self._account(category, _WRITE)
+        self.controller.enqueue(_WRITE, line, when, category, core)
 
     def writeback(self, victim: Optional[int], when: int, core: int) -> None:
         """Handle an evicted dirty line of *any* region.
@@ -312,8 +344,8 @@ class SecureTimingEngine:
         )
         self._handle_writeback(result.writeback_address, when, core)
         if result.hit:
-            self.stats.counter("counter_hits").add()
-            self._t_counter_hits.inc()
+            self._c_counter_hits.value += 1
+            self._n_counter_hits += 1
             return
         self._emit_read(out, counter_line, when, "counter", core)
         if design.tree_kind is not TreeKind.BONSAI_COUNTER:
@@ -329,7 +361,11 @@ class SecureTimingEngine:
                 break
             self._emit_read(out, tree_line, when, "counter", core)
             depth += 1
-        self._t_tree_walk_depth.record(depth)
+        acc = self._tree_depth_acc
+        try:
+            acc[depth] += 1
+        except KeyError:
+            acc[depth] = 1
 
     def _fetch_mac(
         self, out: ExpandedAccess, data_line: int, when: int, core: int
@@ -352,8 +388,8 @@ class SecureTimingEngine:
         )
         self._handle_writeback(result.writeback_address, when, core)
         if result.hit:
-            self.stats.counter("mac_hits").add()
-            self._t_mac_hits.inc()
+            self._c_mac_hits.value += 1
+            self._n_mac_hits += 1
             return
         self._emit_read(out, mac_line, when, "mac", core)
         self._walk_mac_tree_read(out, mac_line, when, core)
@@ -375,7 +411,35 @@ class SecureTimingEngine:
                 break
             self._emit_read(out, tree_line, when, "mac", core)
             depth += 1
-        self._t_mac_tree_walk_depth.record(depth)
+        acc = self._mac_tree_depth_acc
+        try:
+            acc[depth] += 1
+        except KeyError:
+            acc[depth] = 1
+
+    def sync_telemetry(self) -> None:
+        """Publish the deferred telemetry into the registry objects.
+
+        Counters publish the delta since the last sync (watermarked, so
+        instances sharing a registry counter each contribute their own
+        events); histogram tallies flush weight-batched — all integer
+        observations, so batching is bit-exact. ``SystemSimulator.run``
+        calls this before the snapshot.
+        """
+        synced = self._synced_telemetry
+        self._t_metadata_accesses.inc(self._n_metadata_accesses - synced[0])
+        self._t_counter_hits.inc(self._n_counter_hits - synced[1])
+        self._t_mac_hits.inc(self._n_mac_hits - synced[2])
+        synced[0] = self._n_metadata_accesses
+        synced[1] = self._n_counter_hits
+        synced[2] = self._n_mac_hits
+        for acc, histogram in (
+            (self._tree_depth_acc, self._t_tree_walk_depth),
+            (self._mac_tree_depth_acc, self._t_mac_tree_walk_depth),
+        ):
+            for value, weight in acc.items():
+                histogram.record(value, weight)
+            acc.clear()
 
     # ------------------------------------------------------------------
     # Write path (LLC dirty-data eviction = memory write)

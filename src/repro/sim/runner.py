@@ -26,6 +26,47 @@ from repro.workloads.mixes import MIXES
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
 
 
+#: Process-local memo for generated traces. Grid runs regenerate the same
+#: per-core traces for every design sharing a workload (designs outer,
+#: workloads inner), and trace synthesis is a measurable slice of each
+#: cell; generate_trace is a pure function of the key below, and traces
+#: are immutable (frozen records), so sharing one instance across
+#: simulators is safe. Bounded by wholesale clearing — the access pattern
+#: is a small working set per experiment, not an LRU-worthy stream.
+_TRACE_MEMO: dict = {}
+_TRACE_MEMO_MAX = 256
+
+
+def _memoised_trace(
+    profile: WorkloadProfile,
+    accesses: int,
+    core: int,
+    base_line: int,
+    seed_salt: object,
+    scale_divisor: int,
+):
+    key = (profile, accesses, core, base_line, seed_salt, scale_divisor)
+    try:
+        trace = _TRACE_MEMO.get(key)
+    except TypeError:  # unhashable profile or salt: just generate
+        key = None
+        trace = None
+    if trace is None:
+        trace = generate_trace(
+            profile,
+            accesses,
+            core_id=core,
+            base_line=base_line,
+            seed_salt=seed_salt,
+            scale_divisor=scale_divisor,
+        )
+        if key is not None:
+            if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+                _TRACE_MEMO.clear()
+            _TRACE_MEMO[key] = trace
+    return trace
+
+
 def _traces_for(
     workload: Union[str, WorkloadProfile],
     config: SystemConfig,
@@ -43,13 +84,13 @@ def _traces_for(
         profiles = [profile] * config.num_cores
         label = profile.name
     traces = [
-        generate_trace(
+        _memoised_trace(
             profiles[core],
             config.accesses_per_core,
-            core_id=core,
-            base_line=core * config.lines_per_core,
-            seed_salt=seed_salt,
-            scale_divisor=config.cache_scale,
+            core,
+            core * config.lines_per_core,
+            seed_salt,
+            config.cache_scale,
         )
         for core in range(config.num_cores)
     ]

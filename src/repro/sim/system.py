@@ -70,18 +70,27 @@ class SystemSimulator:
         self._t_miss_latency = get_registry().histogram(
             "system.read_miss_latency_cpu", MISS_LATENCY_EDGES
         )
+        # Hot-path bindings: one attribute fetch per access instead of a
+        # per-event StatGroup name lookup.
+        self._c_data_reads = self.stats.counter("data_reads")
+        self._c_data_writes = self.stats.counter("data_writes")
+        self._c_llc_hits = self.stats.counter("llc_hits")
+        self._c_llc_misses = self.stats.counter("llc_misses")
+        self._llc_latency = config.llc_latency_cpu
+        self._access_data = self.hierarchy.access_data
 
     # ------------------------------------------------------------------
     # Core-facing memory interface
     # ------------------------------------------------------------------
 
     def _read(self, line_address: int, cpu_time: float, core: int) -> AccessHandle:
-        self.stats.counter("data_reads").add()
-        result = self.hierarchy.access_data(line_address, is_write=False)
+        # Unit increments bump the counter slots directly (no method call).
+        self._c_data_reads.value += 1
+        result = self._access_data(line_address, False)
         if result.hit:
-            self.stats.counter("llc_hits").add()
-            return AccessHandle(cpu_time + self.config.llc_latency_cpu)
-        self.stats.counter("llc_misses").add()
+            self._c_llc_hits.value += 1
+            return AccessHandle(cpu_time + self._llc_latency)
+        self._c_llc_misses.value += 1
         mem_time = int(cpu_time // self._mult)
         self.engine.writeback(result.writeback_address, mem_time, core)
         expanded = self.engine.expand_read_miss(line_address, mem_time, core)
@@ -90,8 +99,8 @@ class SystemSimulator:
         return handle
 
     def _write(self, line_address: int, cpu_time: float, core: int) -> None:
-        self.stats.counter("data_writes").add()
-        result = self.hierarchy.access_data(line_address, is_write=True)
+        self._c_data_writes.value += 1
+        result = self._access_data(line_address, True)
         if not result.hit:
             mem_time = int(cpu_time // self._mult)
             self.engine.writeback(result.writeback_address, mem_time, core)
@@ -110,19 +119,24 @@ class SystemSimulator:
             # root before the data may be consumed (Fig. 16 mechanism).
             verify *= 1 + len(self.engine.map.tree_level_sizes)
         speculative = self.design.speculative_verification
+        llc_latency = self._llc_latency
+        mult = self._mult
+        record_latency = self._t_miss_latency.record
         for handle, requests, issue_cpu in self._unresolved:
             if speculative:
                 # PoisonIvy-style: data usable on arrival; verification
                 # (and its metadata fetches) retire off the critical path.
                 last_mem = requests[0].completion
-                latency_tail = self.config.llc_latency_cpu
+                latency_tail = llc_latency
             else:
                 last_mem = max(request.completion for request in requests)
-                latency_tail = self.config.llc_latency_cpu + verify
-            handle.completion_cpu = (
-                max(issue_cpu, last_mem * self._mult) + latency_tail
-            )
-            self._t_miss_latency.record(handle.completion_cpu - issue_cpu)
+                latency_tail = llc_latency + verify
+            completion = last_mem * mult
+            if issue_cpu > completion:
+                completion = issue_cpu
+            completion += latency_tail
+            handle.completion_cpu = completion
+            record_latency(completion - issue_cpu)
         self._unresolved.clear()
 
     # ------------------------------------------------------------------
@@ -154,6 +168,7 @@ class SystemSimulator:
         self._resolve()  # flush any trailing posted writes
         self.hierarchy.record_telemetry()
         self.controller.record_telemetry()
+        self.engine.sync_telemetry()
         return self
 
     # -- results -----------------------------------------------------------

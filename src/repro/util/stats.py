@@ -13,6 +13,8 @@ from typing import Dict, Iterator, List, Tuple
 class Counter:
     """A monotonically increasing event counter."""
 
+    __slots__ = ("name", "description", "value")
+
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
@@ -34,6 +36,8 @@ class Counter:
 
 class RatioStat:
     """A numerator/denominator pair reported as a ratio (e.g. hit rate)."""
+
+    __slots__ = ("name", "description", "numerator", "denominator")
 
     def __init__(self, name: str, description: str = ""):
         self.name = name
@@ -66,6 +70,8 @@ class RatioStat:
 class Histogram:
     """A sparse integer-keyed histogram (e.g. queue depths, latencies)."""
 
+    __slots__ = ("name", "description", "_bins", "_count", "_total")
+
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
@@ -75,7 +81,11 @@ class Histogram:
 
     def record(self, value: int, weight: int = 1) -> None:
         """Add ``weight`` observations of ``value``."""
-        self._bins[value] = self._bins.get(value, 0) + weight
+        bins = self._bins
+        try:
+            bins[value] += weight
+        except KeyError:
+            bins[value] = weight
         self._count += weight
         self._total += value * weight
 
@@ -129,6 +139,8 @@ class StatGroup:
     Components create one group each; groups nest by name prefix only (flat
     storage keeps rendering trivial).
     """
+
+    __slots__ = ("name", "_stats")
 
     def __init__(self, name: str):
         self.name = name

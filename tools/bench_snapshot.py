@@ -12,6 +12,15 @@ two snapshots comparable:
 
 By default the run cache is *disabled* so the snapshot measures compute,
 not reuse; pass ``--cache`` to measure the warm path instead.
+
+PR perf snapshots — one combined JSON with the hot-path microbenchmarks
+and end-to-end grid timings, plus before/after speedups when a baseline
+timing file (``tools/run_experiments.py`` output) is supplied:
+
+    python tools/bench_snapshot.py --pr-out BENCH_PR3.json \\
+        --before before.json --after after.json --micro
+    python tools/bench_snapshot.py --pr-out BENCH_ci.json --micro \\
+        --scale quick --compare BENCH_PR3.json   # warn-only CI delta
 """
 
 import argparse
@@ -23,9 +32,14 @@ import time
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.parallel import EXECUTION_STATS, code_fingerprint
+from repro.perf.microbench import run_all
 from repro.telemetry import TELEMETRY_AGGREGATE
 
 DEFAULT_FIGURES = ["fig8", "fig11"]
+
+#: Micro timings may legitimately wobble this much between runs/machines;
+#: the --compare report flags (never fails on) anything slower than this.
+COMPARE_WARN_RATIO = 1.25
 
 
 def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
@@ -56,6 +70,115 @@ def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
     }
 
 
+def micro_section(repeats: int) -> dict:
+    """Run the hot-path microbenchmarks and package their timings."""
+    return {
+        result.name: result.to_payload() for result in run_all(repeats)
+    }
+
+
+def _experiment_seconds(timings: dict) -> dict:
+    """name -> seconds from a ``tools/run_experiments.py`` output file."""
+    return {
+        name: record["seconds"]
+        for name, record in timings.items()
+        if isinstance(record, dict) and "seconds" in record
+    }
+
+
+def grid_timings(scale: str, jobs: int, cache: bool) -> dict:
+    """Run the full experiment grid, recording per-experiment seconds."""
+    timings = {"scale": scale}
+    for name in sorted(EXPERIMENTS):
+        EXECUTION_STATS.reset()
+        TELEMETRY_AGGREGATE.reset()
+        started = time.time()
+        run_experiment(name, scale=scale, quiet=True, jobs=jobs, cache=cache)
+        timings[name] = {"seconds": round(time.time() - started, 1)}
+        print("%s done in %.1fs" % (name, timings[name]["seconds"]), flush=True)
+    return timings
+
+
+def pr_snapshot(args) -> dict:
+    """Build the combined PR perf snapshot (micro + end-to-end speedups)."""
+    record = {
+        "kind": "pr_perf_snapshot",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cache": args.cache,
+        "code_fingerprint": code_fingerprint(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+    }
+    if args.micro:
+        print("running microbenchmarks ...", flush=True)
+        record["micro"] = micro_section(args.micro_repeats)
+        for name, payload in sorted(record["micro"].items()):
+            print(
+                "  %-20s %8.3f us/op" % (name, payload["per_op_us"]),
+                flush=True,
+            )
+
+    if args.after:
+        with open(args.after) as handle:
+            after = _experiment_seconds(json.load(handle))
+    else:
+        print("running the experiment grid (end-to-end timings) ...", flush=True)
+        after = _experiment_seconds(
+            grid_timings(args.scale, args.jobs, args.cache)
+        )
+
+    end_to_end = {
+        "after_s": after,
+        "total_after_s": round(sum(after.values()), 1),
+    }
+    if args.before:
+        with open(args.before) as handle:
+            before = _experiment_seconds(json.load(handle))
+        end_to_end["before_s"] = before
+        end_to_end["total_before_s"] = round(sum(before.values()), 1)
+        speedups = {
+            name: round(before[name] / after[name], 2)
+            for name in sorted(after)
+            if name in before and after[name]
+        }
+        end_to_end["speedup"] = speedups
+        if end_to_end["total_after_s"]:
+            end_to_end["total_speedup"] = round(
+                end_to_end["total_before_s"] / end_to_end["total_after_s"], 2
+            )
+    record["end_to_end"] = end_to_end
+    return record
+
+
+def compare_report(current: dict, previous_path: str) -> None:
+    """Warn-only delta of micro timings vs a previous combined snapshot."""
+    try:
+        with open(previous_path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("compare: cannot read %s (%s)" % (previous_path, error))
+        return
+    mine = current.get("micro") or {}
+    theirs = previous.get("micro") or {}
+    if not mine or not theirs:
+        print("compare: no micro section to compare against %s" % previous_path)
+        return
+    print("micro delta vs %s (warn-only):" % previous_path)
+    for name in sorted(mine):
+        if name not in theirs:
+            print("  %-20s (new case)" % name)
+            continue
+        now = mine[name]["per_op_us"]
+        was = theirs[name]["per_op_us"]
+        ratio = now / was if was else float("inf")
+        flag = "  WARN: slower than %.2fx" % COMPARE_WARN_RATIO
+        print(
+            "  %-20s %8.3f -> %8.3f us/op (%.2fx)%s"
+            % (name, was, now, ratio, flag if ratio > COMPARE_WARN_RATIO else "")
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -75,7 +198,58 @@ def main() -> int:
         help="leave the run cache on (measures the warm path)",
     )
     parser.add_argument("--out-dir", default=".")
+    parser.add_argument(
+        "--micro",
+        action="store_true",
+        help="include the hot-path microbenchmarks (repro.perf.microbench)",
+    )
+    parser.add_argument(
+        "--micro-repeats", type=int, default=3, help="best-of-N micro rounds"
+    )
+    parser.add_argument(
+        "--pr-out",
+        default=None,
+        metavar="FILE",
+        help="write one combined PR perf snapshot instead of per-figure files",
+    )
+    parser.add_argument(
+        "--before",
+        default=None,
+        metavar="FILE",
+        help="baseline run_experiments.py output for speedup reporting",
+    )
+    parser.add_argument(
+        "--after",
+        default=None,
+        metavar="FILE",
+        help="optimized run_experiments.py output (skips re-running the grid)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="FILE",
+        help="previous combined snapshot; print a warn-only micro delta",
+    )
     args = parser.parse_args()
+
+    if args.pr_out:
+        out_dir = os.path.dirname(os.path.abspath(args.pr_out))
+        os.makedirs(out_dir, exist_ok=True)
+        record = pr_snapshot(args)
+        with open(args.pr_out, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        end_to_end = record["end_to_end"]
+        summary = "total %.1fs" % end_to_end["total_after_s"]
+        if "total_speedup" in end_to_end:
+            summary += " (%.2fx vs %.1fs baseline)" % (
+                end_to_end["total_speedup"],
+                end_to_end["total_before_s"],
+            )
+        print("%s -> %s" % (summary, args.pr_out), flush=True)
+        if args.compare:
+            compare_report(record, args.compare)
+        return 0
 
     names = (
         sorted(EXPERIMENTS)
@@ -87,8 +261,11 @@ def main() -> int:
         parser.error("unknown experiment(s): %s" % ", ".join(unknown))
 
     os.makedirs(args.out_dir, exist_ok=True)
+    micro = micro_section(args.micro_repeats) if args.micro else None
     for name in names:
         record = snapshot(name, args.scale, args.jobs, args.cache)
+        if micro is not None:
+            record["micro"] = micro
         path = os.path.join(args.out_dir, "BENCH_%s.json" % name)
         with open(path, "w") as handle:
             json.dump(record, handle, indent=2)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Profile the simulator under cProfile and print a hotspot table.
+
+Profiles either one (design, workload) grid cell — the unit every
+experiment fans out over — or one hot-path microbenchmark case, then
+prints the top-N functions by the chosen sort key. This is the tool the
+hot-path optimization work is *guided* by: run it before and after a
+change and diff the tables.
+
+    PYTHONPATH=src python tools/profile_run.py --design SGX_O --workload lbm
+    PYTHONPATH=src python tools/profile_run.py --top 40 --sort tottime
+    PYTHONPATH=src python tools/profile_run.py --micro controller_schedule
+    PYTHONPATH=src python tools/profile_run.py --out cell.pstats   # for snakeviz etc.
+
+The cell runs in-process with the run cache disabled, so the profile
+measures simulation, not reuse or process-pool overhead.
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.perf.microbench import CASES
+from repro.secure.designs import ALL_DESIGNS, design_by_name
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+
+SORT_KEYS = ("cumulative", "tottime", "calls")
+
+
+def profile_cell(design_name: str, workload: str, accesses: int) -> cProfile.Profile:
+    """Profile one grid cell end to end (trace gen + sim + packaging)."""
+    design = design_by_name(design_name)
+    config = SystemConfig(accesses_per_core=accesses)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_workload(design, workload, config)
+    profiler.disable()
+    return profiler
+
+
+def profile_micro(case: str) -> cProfile.Profile:
+    """Profile one microbenchmark case from repro.perf.microbench."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    CASES[case]()
+    profiler.disable()
+    return profiler
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--design",
+        default="SGX_O",
+        choices=sorted(design.name for design in ALL_DESIGNS),
+        help="secure-memory design of the profiled cell",
+    )
+    parser.add_argument(
+        "--workload", default="lbm", help="workload profile or mix name"
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=8_000,
+        help="trace length per core (default-scale cell)",
+    )
+    parser.add_argument(
+        "--micro",
+        default=None,
+        choices=sorted(CASES),
+        help="profile this microbenchmark case instead of a grid cell",
+    )
+    parser.add_argument("--top", type=int, default=25, help="rows to print")
+    parser.add_argument("--sort", default="cumulative", choices=SORT_KEYS)
+    parser.add_argument(
+        "--out", default=None, help="also dump raw pstats to this path"
+    )
+    args = parser.parse_args()
+
+    if args.micro:
+        print("profiling microbenchmark %r" % args.micro, flush=True)
+        profiler = profile_micro(args.micro)
+    else:
+        print(
+            "profiling cell %s/%s (%d accesses/core)"
+            % (args.design, args.workload, args.accesses),
+            flush=True,
+        )
+        # Run cache off: we want the compute path, not a cache lookup.
+        from repro.parallel import overridden
+
+        with overridden(cache_enabled=False):
+            profiler = profile_cell(args.design, args.workload, args.accesses)
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
