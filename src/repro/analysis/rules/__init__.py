@@ -1,0 +1,55 @@
+"""Rule registry for the repro linter.
+
+Each rule is a callable object with a ``rule_id`` (``D101`` …), a short
+``title``, a ``rationale`` sentence, and a ``check(ctx)`` generator that
+yields :class:`repro.analysis.linter.Violation` records for one parsed
+file.  Rules are pure AST analyses — no imports of the code under test.
+
+Series:
+
+* ``D`` (determinism) — bit-identical replay is the repo's core promise;
+  these rules ban ambient nondeterminism outside ``repro.util.rng``.
+* ``P`` (hot path) — per-event code must keep the PR 3 shape: ``__slots__``
+  on event-path classes, attributes fixed in ``__init__``, telemetry
+  deferred out of inner loops.
+* ``H`` (hygiene) — broad exception handlers and shadowed builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.rules.determinism import (
+    AmbientNondeterminismRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    UnorderedIterationRule,
+)
+from repro.analysis.rules.hotpath import (
+    AttrOutsideInitRule,
+    MissingSlotsRule,
+    TelemetryInLoopRule,
+)
+from repro.analysis.rules.hygiene import BroadExceptRule, ShadowedBuiltinRule
+from repro.analysis.rules.base import FileContext, Rule
+
+ALL_RULES: Tuple[Rule, ...] = (
+    AmbientNondeterminismRule(),
+    UnorderedIterationRule(),
+    MutableDefaultRule(),
+    FloatEqualityRule(),
+    MissingSlotsRule(),
+    AttrOutsideInitRule(),
+    TelemetryInLoopRule(),
+    BroadExceptRule(),
+    ShadowedBuiltinRule(),
+)
+
+
+def rule_catalogue() -> Dict[str, Rule]:
+    """Map rule id -> rule instance, in registration order."""
+
+    return {rule.rule_id: rule for rule in ALL_RULES}
+
+
+__all__ = ["ALL_RULES", "FileContext", "Rule", "rule_catalogue"]

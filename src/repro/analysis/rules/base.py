@@ -1,0 +1,122 @@
+"""Shared rule infrastructure: file context, violation record, base class."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule tripped at a specific line of a specific file."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    line_text: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-insensitive identity used by the baseline file.
+
+        Keyed on (rule, path, stripped source text) so unrelated edits that
+        shift line numbers do not invalidate baselined entries.
+        """
+
+        return (self.rule_id, self.path, self.line_text.strip())
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """Path components, posix-normalised (``src/repro/dram/bank.py`` →
+        ``("src", "repro", "dram", "bank.py")``)."""
+
+        return tuple(self.path.replace("\\", "/").split("/"))
+
+    def in_package(self, *names: str) -> bool:
+        """True if the file lives under any of the given package dirs."""
+
+        parts = self.package_parts
+        return any(name in parts[:-1] for name in names)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        lineno = getattr(node, "lineno", 0)
+        return Violation(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=lineno,
+            message=message,
+            line_text=ctx.line_text(lineno),
+        )
+
+
+def walk_loop_bodies(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield every AST node that executes inside a ``for``/``while`` body
+    (nested loops deduplicated), skipping function/class definitions nested
+    *inside* the loop body — code in a nested ``def`` runs when the function
+    is called, not per iteration, and that def is analysed on its own."""
+
+    seen = set()
+    for loop in ast.walk(node):
+        if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        for stmt in loop.body:
+            for sub in _walk_in_loop(stmt):
+                if id(sub) not in seen:
+                    seen.add(id(sub))
+                    yield sub
+
+
+def _walk_in_loop(node: ast.AST) -> Iterator[ast.AST]:
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        yield from _walk_in_loop(child)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains; '' when not a plain chain."""
+
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,222 @@
+"""D-series rules: bit-identical determinism.
+
+The repo's replay guarantees (PR 1 sharded RNG streams, PR 3 golden
+bit-identity tests) hold only if no simulation code reaches for ambient
+entropy or order-unstable iteration.  These rules make that mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import FileContext, Rule, Violation, dotted_name
+
+#: The one module allowed to touch ``random`` directly: it is the blessed
+#: wrapper every simulation component derives its streams from.
+RNG_WRAPPER_SUFFIX = ("repro", "util", "rng.py")
+
+#: Wall-clock reads that feed results.  ``time.perf_counter``/
+#: ``time.monotonic`` are allowed: they only ever feed *timing reports*
+#: (ExecutionStats, bench snapshots), never simulated state.
+_BANNED_CALLS = {
+    "time.time": "wall-clock time.time() (use time.perf_counter for timing reports)",
+    "datetime.now": "datetime.now()",
+    "datetime.utcnow": "datetime.utcnow()",
+    "datetime.today": "datetime.today()",
+    "datetime.datetime.now": "datetime.datetime.now()",
+    "datetime.datetime.utcnow": "datetime.datetime.utcnow()",
+    "date.today": "date.today()",
+    "datetime.date.today": "datetime.date.today()",
+    "os.urandom": "os.urandom()",
+    "uuid.uuid1": "uuid.uuid1()",
+    "uuid.uuid4": "uuid.uuid4()",
+}
+
+_BANNED_MODULES = {"random", "secrets"}
+
+#: numpy RNG entry points that draw from global, unseeded state.
+_NP_GLOBAL_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "uniform",
+    "normal",
+    "binomial",
+    "poisson",
+}
+
+
+class AmbientNondeterminismRule(Rule):
+    rule_id = "D101"
+    title = "ambient nondeterminism"
+    rationale = (
+        "All randomness must flow through repro.util.rng so runs replay "
+        "bit-identically from (seed, shard_id); wall-clock and global RNG "
+        "state silently break the run cache and golden tests."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.package_parts[-3:] == RNG_WRAPPER_SUFFIX:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        yield self.violation(
+                            ctx, node, f"import of '{alias.name}' outside repro.util.rng"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield self.violation(
+                        ctx, node, f"import from '{node.module}' outside repro.util.rng"
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if not name:
+                    continue
+                if name in _BANNED_CALLS:
+                    yield self.violation(ctx, node, f"call to {_BANNED_CALLS[name]}")
+                    continue
+                parts = name.split(".")
+                # random.random() / random.shuffle() / ... on the stdlib module.
+                if parts[0] == "random" and len(parts) == 2:
+                    yield self.violation(ctx, node, f"call to stdlib random.{parts[1]}()")
+                # np.random.<draw>() uses hidden global state; np.random.default_rng()
+                # with no seed argument is equally ambient.  Seeded default_rng(s) is
+                # the approved numpy path (reliability.montecarlo).
+                elif len(parts) >= 3 and parts[-2] == "random" and parts[0] in ("np", "numpy"):
+                    attr = parts[-1]
+                    if attr in _NP_GLOBAL_RANDOM:
+                        yield self.violation(ctx, node, f"numpy global RNG call {name}()")
+                    elif attr == "default_rng" and not (node.args or node.keywords):
+                        yield self.violation(
+                            ctx, node, "numpy default_rng() without an explicit seed"
+                        )
+
+
+def _is_set_producer(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "D102"
+    title = "iteration over unordered set"
+    rationale = (
+        "Iterating a set yields hash order, which varies across processes "
+        "(PYTHONHASHSEED) and feeds result-affecting order into schedulers "
+        "and aggregation; iterate a sorted() or list view instead.  Dicts "
+        "are insertion-ordered and exempt."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_producer(it):
+                    yield self.violation(
+                        ctx, it, "iteration directly over a set (hash order); sort it first"
+                    )
+
+
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+    "collections.deque",
+    "collections.defaultdict",
+    "collections.Counter",
+    "collections.OrderedDict",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_FACTORIES
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "D103"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is shared across every call of the function, so "
+        "state leaks between runs and cells; default to None and construct "
+        "inside the body."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); use None",
+                    )
+
+
+def _has_float_literal(node: ast.Compare) -> bool:
+    operands = [node.left] + list(node.comparators)
+    for operand in operands:
+        if isinstance(operand, ast.Constant) and isinstance(operand.value, float):
+            return True
+        if (
+            isinstance(operand, ast.UnaryOp)
+            and isinstance(operand.operand, ast.Constant)
+            and isinstance(operand.operand.value, float)
+        ):
+            return True
+    return False
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "D104"
+    title = "float equality in crypto/ecc"
+    rationale = (
+        "crypto and ecc operate on exact bit patterns; a float literal in "
+        "an equality there almost always means a lost integer invariant "
+        "(use integers or math.isclose elsewhere)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_package("crypto", "ecc"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            if _has_float_literal(node):
+                yield self.violation(
+                    ctx, node, "float-literal equality comparison in exact-bit code"
+                )

@@ -1,0 +1,127 @@
+"""H-series rules: general hygiene."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import FileContext, Rule, Violation
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        if isinstance(t, ast.Name) and t.id in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class BroadExceptRule(Rule):
+    rule_id = "H301"
+    title = "broad exception handler"
+    rationale = (
+        "A bare/Exception handler that never re-raises swallows "
+        "KeyboardInterrupt-adjacent failures and corrupts survey results "
+        "silently; catch the specific types, or re-raise on the broad path."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _reraises(node):
+                shown = "bare except" if node.type is None else "broad except"
+                yield self.violation(
+                    ctx, node, f"{shown} without re-raise; narrow it or re-raise"
+                )
+
+
+#: Builtins worth protecting: ones that plausibly appear as variable names
+#: in simulator code and whose shadowing causes confusing failures.
+_GUARDED_BUILTINS: Set[str] = {
+    "all",
+    "any",
+    "bytes",
+    "dict",
+    "filter",
+    "format",
+    "hash",
+    "id",
+    "input",
+    "len",
+    "list",
+    "map",
+    "max",
+    "min",
+    "next",
+    "object",
+    "range",
+    "set",
+    "sum",
+    "type",
+    "vars",
+    "zip",
+}
+
+
+class ShadowedBuiltinRule(Rule):
+    rule_id = "H302"
+    title = "shadowed builtin"
+    rationale = (
+        "Rebinding a builtin (e.g. a parameter named 'hash' or a local "
+        "named 'next') breaks later uses in the same scope and reads "
+        "ambiguously in review."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                all_args = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                    + [a for a in (args.vararg, args.kwarg) if a is not None]
+                )
+                for arg in all_args:
+                    if arg.arg in _GUARDED_BUILTINS:
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            f"parameter '{arg.arg}' of {node.name}() shadows a builtin",
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for name in names:
+                        if isinstance(name, ast.Name) and name.id in _GUARDED_BUILTINS:
+                            yield self.violation(
+                                ctx,
+                                name,
+                                f"assignment to '{name.id}' shadows a builtin",
+                            )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = (
+                    node.target.elts
+                    if isinstance(node.target, (ast.Tuple, ast.List))
+                    else [node.target]
+                )
+                for name in targets:
+                    if isinstance(name, ast.Name) and name.id in _GUARDED_BUILTINS:
+                        yield self.violation(
+                            ctx,
+                            name,
+                            f"loop variable '{name.id}' shadows a builtin",
+                        )

@@ -40,6 +40,17 @@ class CacheConfig:
 class CacheHierarchy:
     """Shared LLC plus dedicated metadata cache."""
 
+    __slots__ = (
+        "config",
+        "llc",
+        "metadata_cache",
+        "metadata_llc_fills",
+        "data_llc_fills",
+        "_t_metadata_llc_fills",
+        "_t_data_llc_fills",
+        "_synced_fills",
+    )
+
     def __init__(self, config: CacheConfig = CacheConfig()):
         self.config = config
         self.llc = SetAssociativeCache(

@@ -45,6 +45,24 @@ _ABSENT = object()
 class SetAssociativeCache:
     """LRU set-associative cache addressed by cacheline index."""
 
+    __slots__ = (
+        "name",
+        "num_lines",
+        "associativity",
+        "num_sets",
+        "_set_shift",
+        "_set_mask",
+        "_sets",
+        "hits",
+        "misses",
+        "evictions",
+        "dirty_evictions",
+        "_t_hits",
+        "_t_misses",
+        "_t_dirty_evictions",
+        "_synced",
+    )
+
     def __init__(self, num_lines: int, associativity: int, name: str = "cache"):
         if num_lines <= 0 or associativity <= 0:
             raise ValueError("sizes must be positive")

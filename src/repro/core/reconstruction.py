@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.core.cacheline_codec import counter_line_candidates, decode_data_line
 from repro.dimm.geometry import DATA_CHIPS, ECC_CHIP, TOTAL_CHIPS
 from repro.ecc.parity import xor_parity
@@ -51,6 +52,9 @@ class ReconstructionEngine:
     def __init__(self, mac_calc: LineMacCalculator):
         self.mac_calc = mac_calc
         self.stats = StatGroup("reconstruction")
+        # None unless REPRO_SANITIZE is on; successful corrections are then
+        # re-checked for hypothesis uniqueness and parity consistency.
+        self._sanitizer = get_sanitizer()
         registry = get_registry()
         self._t_attempts = registry.histogram(
             "core.reconstruction_attempts", ATTEMPT_EDGES
@@ -75,16 +79,27 @@ class ReconstructionEngine:
         (already trusted) parent counter. Returns None if nothing verifies.
         """
         attempts = 0
-        for chip, counters, mac in counter_line_candidates(lanes):
+        tracer = get_tracer()
+        candidates = counter_line_candidates(lanes)
+        for position, (chip, counters, mac) in enumerate(candidates):
             attempts += 1
             expected = self.mac_calc.counter_line_mac(address, parent_counter, counters)
             if expected == mac:
                 repaired = self._repair_counter_lanes(lanes, chip)
+                if self._sanitizer is not None:
+                    self._sanitizer.check_counter_reconstruction(
+                        self.mac_calc,
+                        address,
+                        parent_counter,
+                        counters,
+                        repaired,
+                        candidates[position + 1 :],
+                    )
                 self.stats.counter("counter_corrections").add()
                 self.stats.histogram("counter_attempts").record(attempts)
                 self._t_corrections.inc()
                 self._t_attempts.record(attempts)
-                get_tracer().emit(
+                tracer.emit(
                     "reconstruction",
                     line_type="counter",
                     chip=chip,
@@ -128,6 +143,7 @@ class ReconstructionEngine:
         total stays within the paper's 16-recomputation budget.
         """
         attempts = 0
+        tracer = get_tracer()
         for use_rebuilt, active_parity in self._parity_choices(parity, rebuilt_parity):
             order = [ECC_CHIP] + list(range(DATA_CHIPS))
             if use_rebuilt and overlap_chip is not None:
@@ -140,11 +156,22 @@ class ReconstructionEngine:
                 ciphertext, mac = decode_data_line(repaired)
                 expected = self.mac_calc.data_mac(address, counter, ciphertext)
                 if expected == mac:
+                    if self._sanitizer is not None:
+                        accepted = order.index(chip)
+                        self._sanitizer.check_data_reconstruction(
+                            self.mac_calc,
+                            address,
+                            counter,
+                            lanes,
+                            active_parity,
+                            repaired,
+                            order[accepted + 1 :],
+                        )
                     self.stats.counter("data_corrections").add()
                     self.stats.histogram("data_attempts").record(attempts)
                     self._t_corrections.inc()
                     self._t_attempts.record(attempts)
-                    get_tracer().emit(
+                    tracer.emit(
                         "reconstruction",
                         line_type="data",
                         chip=chip,
@@ -189,6 +216,12 @@ class ReconstructionEngine:
         ciphertext, mac = decode_data_line(repaired)
         expected = self.mac_calc.data_mac(address, counter, ciphertext)
         if expected == mac:
+            if self._sanitizer is not None:
+                # Known-chip fast path tries one hypothesis; uniqueness does
+                # not apply, but the repaired line must still satisfy parity.
+                self._sanitizer.check_data_reconstruction(
+                    self.mac_calc, address, counter, lanes, parity, repaired, ()
+                )
             self.stats.counter("precorrections").add()
             self._t_corrections.inc()
             self._t_attempts.record(1)

@@ -21,6 +21,12 @@ from repro.cpu.rob import CoreModel
 class MulticoreDriver:
     """Runs a set of cores against a memory system."""
 
+    __slots__ = (
+        "cores",
+        "_resolve_fn",
+        "epochs",
+    )
+
     def __init__(
         self,
         cores: List[CoreModel],

@@ -58,6 +58,22 @@ WriteFn = Callable[[int, float, int], None]
 class CoreModel:
     """One trace-driven core."""
 
+    __slots__ = (
+        "core_id",
+        "params",
+        "_read_fn",
+        "_write_fn",
+        "_records",
+        "_pending_record",
+        "fetch_time",
+        "retire_time",
+        "fetched_count",
+        "retired_count",
+        "done",
+        "_pending_reads",
+        "stall_cycles",
+    )
+
     def __init__(
         self,
         core_id: int,

@@ -50,6 +50,11 @@ class TraceRecord:
 class Trace:
     """An in-memory trace with summary statistics."""
 
+    __slots__ = (
+        "records",
+        "name",
+    )
+
     def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
         self.records: List[TraceRecord] = list(records)
         self.name = name

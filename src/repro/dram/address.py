@@ -39,6 +39,21 @@ class DecodedAddress:
 class AddressMapper:
     """Bidirectional line-address <-> DRAM-coordinate mapping."""
 
+    __slots__ = (
+        "config",
+        "_pow2",
+        "_total_mask",
+        "_channel_mask",
+        "_channel_shift",
+        "_column_mask",
+        "_column_shift",
+        "_bank_mask",
+        "_bank_shift",
+        "_rank_mask",
+        "_rank_shift",
+        "_row_mask",
+    )
+
     def __init__(self, config: MemoryConfig):
         self.config = config
         factors = (

@@ -14,12 +14,35 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.dram.bank import BankState
 from repro.dram.timing import DramTiming, MemoryConfig
 
 
 class ChannelState:
     """Timing state of one channel (banks + shared data bus)."""
+
+    __slots__ = (
+        "config",
+        "timing",
+        "banks",
+        "bus_free_at",
+        "last_was_write",
+        "busy_cycles",
+        "_recent_activates",
+        "refresh_stall_cycles",
+        "_banks_per_rank",
+        "_model_refresh",
+        "_model_faw",
+        "_t_refi",
+        "_t_rfc",
+        "_t_rrd",
+        "_t_faw",
+        "_t_wtr",
+        "_t_rtw",
+        "_t_burst",
+        "_sanitizer",
+    )
 
     def __init__(self, config: MemoryConfig):
         self.config = config
@@ -47,6 +70,9 @@ class ChannelState:
         self._t_wtr = timing.t_wtr
         self._t_rtw = timing.t_rtw
         self._t_burst = timing.t_burst
+        # None unless REPRO_SANITIZE is on; commit() checks the plan against
+        # pre-mutation state when set (see repro.analysis.sanitizer).
+        self._sanitizer = get_sanitizer()
 
     def flat_bank(self, rank: int, bank: int) -> int:
         """Flatten (rank, bank) into a channel-local bank index."""
@@ -118,6 +144,8 @@ class ChannelState:
         self, rank: int, bank: int, row: int, is_write: bool, plan: Tuple[int, int, int]
     ) -> None:
         """Apply a previously planned access to bank and bus state."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_dram_commit(self, rank, bank, row, is_write, plan)
         start, data_start, completion = plan
         bank_state = self.banks[rank * self._banks_per_rank + bank]
         if self._model_faw and bank_state.open_row != row:

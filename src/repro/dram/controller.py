@@ -126,6 +126,45 @@ class _ChannelQueues:
 class MemoryController:
     """Schedules requests over the configured channels."""
 
+    __slots__ = (
+        "config",
+        "mapper",
+        "_pow2_decode",
+        "channels",
+        "schedulers",
+        "_queues",
+        "_sequence",
+        "_banks_per_rank",
+        "stats",
+        "_traffic_counters",
+        "_h_read_latency",
+        "_h_write_latency",
+        "_c_data_bus_cycles",
+        "_lat_hit_read",
+        "_lat_hit_write",
+        "_lat_closed_read",
+        "_lat_closed_write",
+        "_lat_miss_read",
+        "_lat_miss_write",
+        "_t_row_hits",
+        "_t_row_misses",
+        "_synced_rows",
+        "_t_queue_depth",
+        "_t_read_latency",
+        "_t_write_latency",
+        "_depth_acc",
+        "_read_lat_acc",
+        "_write_lat_acc",
+        "_dec_total_mask",
+        "_dec_channel_mask",
+        "_dec_bank_shift",
+        "_dec_bank_mask",
+        "_dec_rank_shift",
+        "_dec_rank_mask",
+        "_dec_row_shift",
+        "_dec_row_mask",
+    )
+
     def __init__(self, config: MemoryConfig):
         self.config = config
         self.mapper = AddressMapper(config)

@@ -11,10 +11,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.analysis.sanitizer import ENV_VAR as SANITIZE_ENV, configure_sanitizer
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import render_execution_stats, render_metrics_summary
 from repro.parallel import EXECUTION_STATS, default_jobs
@@ -79,8 +81,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(per-process: use --jobs 1 for a complete simulation trace; "
         "default: REPRO_TRACE, if set)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (same as REPRO_SANITIZE=1; "
+        "checks DRAM timing legality, reconstruction uniqueness, counter-tree "
+        "consistency, and cache-replay fidelity at some simulation-speed cost)",
+    )
     args = parser.parse_args(argv)
 
+    if args.sanitize:
+        # Set the env var too so --jobs worker processes inherit the switch.
+        os.environ[SANITIZE_ENV] = "1"
+        configure_sanitizer(True)
     if args.no_metrics:
         configure(False)
     if args.trace_out:
@@ -94,9 +107,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("Experiment:", name)
         print("=" * 72)
         EXECUTION_STATS.reset()
-        started = time.time()
+        started = time.perf_counter()
         run_experiment(name, scale=args.scale, jobs=args.jobs, cache=cache)
-        print("[%s finished in %.1fs]" % (name, time.time() - started))
+        print("[%s finished in %.1fs]" % (name, time.perf_counter() - started))
         if EXECUTION_STATS.cells_executed or EXECUTION_STATS.cache_hits:
             print(render_execution_stats(EXECUTION_STATS))
         print()

@@ -9,7 +9,8 @@ fresh checkout must get right before any experiment is worth running.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+import traceback
+from typing import Callable, Dict, List, Tuple
 
 
 def _check_crypto() -> None:
@@ -97,15 +98,22 @@ CHECKS: List[Tuple[str, Callable[[], None]]] = [
 ]
 
 
-def selfcheck(quiet: bool = False) -> dict:
-    """Run all checks; returns {name: 'ok'|'FAILED: ...'}."""
-    results = {}
+def selfcheck(quiet: bool = False) -> Dict[str, str]:
+    """Run all checks; returns {name: 'ok'|'FAILED: ...'}.
+
+    A failing check must not abort the survey — every plane gets reported —
+    but interpreter-exit signals propagate, and the captured traceback rides
+    in the report so a failure is diagnosable from the returned dict alone.
+    """
+    results: Dict[str, str] = {}
     for name, check in CHECKS:
         try:
             check()
             results[name] = "ok"
-        except Exception as error:  # surface, don't abort: survey all
-            results[name] = "FAILED: %s" % error
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:  # lint-ok: H301 survey semantics: report every plane
+            results[name] = "FAILED: %s\n%s" % (error, traceback.format_exc())
         if not quiet:
             print("  [%-4s] %s" % ("ok" if results[name] == "ok" else "FAIL", name))
     if not quiet:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.secure.counters import COUNTERS_PER_LINE
 from repro.secure.mac import LineMacCalculator
 from repro.secure.metadata_layout import ROOT_PARENT, MetadataLayout
@@ -48,6 +49,15 @@ class MetadataCache:
     terminate (Fig. 7: "this entry is assumed to be free from errors since
     it is found on-chip"). Capacity ``None`` means unbounded.
     """
+
+    __slots__ = (
+        "capacity",
+        "_lines",
+        "hits",
+        "misses",
+        "_t_hits",
+        "_t_misses",
+    )
 
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
@@ -98,6 +108,15 @@ class MetadataCache:
 class CounterTree:
     """Counter state: root register, cache, and chain bumping."""
 
+    __slots__ = (
+        "layout",
+        "mac_calc",
+        "store",
+        "cache",
+        "root",
+        "_sanitizer",
+    )
+
     def __init__(
         self,
         layout: MetadataLayout,
@@ -110,6 +129,9 @@ class CounterTree:
         self.store = store
         self.cache = MetadataCache(cache_capacity)
         self.root = 0
+        # None unless REPRO_SANITIZE is on; bump_chain re-verifies every
+        # stored line against its new parent when set.
+        self._sanitizer = get_sanitizer()
 
     # -- chain helpers ------------------------------------------------------
 
@@ -173,5 +195,7 @@ class CounterTree:
             mac = self.mac_calc.counter_line_mac(address, parent, updated[address])
             self.store.store_counter_line(address, updated[address], mac)
             self.cache.insert(address, updated[address])
+        if self._sanitizer is not None:
+            self._sanitizer.check_counter_chain(self, chain, trusted, updated)
         leaf_address, leaf_slot = chain[0]
         return updated[leaf_address][leaf_slot]

@@ -121,6 +121,12 @@ class SplitCounterPage:
     re-encrypted when a minor overflow rolls the major forward.
     """
 
+    __slots__ = (
+        "config",
+        "major",
+        "minors",
+    )
+
     def __init__(self, config: SplitCounterConfig = SplitCounterConfig()):
         self.config = config
         self.major = 0

@@ -38,6 +38,17 @@ from repro.util.units import CACHELINE_BYTES
 class IvecMemory:
     """Functional IVEC on a 9-chip ECC-DIMM (parity in the ECC chip)."""
 
+    __slots__ = (
+        "num_data_lines",
+        "dimm",
+        "cipher",
+        "mac_calc",
+        "tree",
+        "stats",
+        "_counters",
+        "_written",
+    )
+
     def __init__(
         self,
         num_data_lines: int,

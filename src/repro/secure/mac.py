@@ -24,6 +24,12 @@ from repro.telemetry import get_registry
 class LineMacCalculator:
     """Computes the 64-bit MACs for every protected line type."""
 
+    __slots__ = (
+        "_gmac",
+        "computations",
+        "_t_computations",
+    )
+
     def __init__(self, gmac: Gmac64):
         self._gmac = gmac
         self.computations = 0
@@ -48,9 +54,29 @@ class LineMacCalculator:
         payload = pack_counter_payload(counters)
         return self._gmac.tag(address, parent_counter, payload)
 
+    # Raw variants for the invariant sanitizer: identical tags, but they do
+    # not touch ``computations`` or telemetry, so the Section IV-A budget
+    # assertions (<=8 / <=16 recomputations) stay measurable under
+    # REPRO_SANITIZE=1.
+
+    def data_mac_raw(self, address: int, counter: int, ciphertext: bytes) -> bytes:
+        """Uncounted :meth:`data_mac` (sanitizer verification path)."""
+        return self._gmac.tag(address, counter, ciphertext)
+
+    def counter_line_mac_raw(
+        self, address: int, parent_counter: int, counters: Sequence[int]
+    ) -> bytes:
+        """Uncounted :meth:`counter_line_mac` (sanitizer verification path)."""
+        return self._gmac.tag(address, parent_counter, pack_counter_payload(counters))
+
 
 class MacBudget:
     """Scoped counter of MAC computations (correction-latency accounting)."""
+
+    __slots__ = (
+        "_calculator",
+        "_start",
+    )
 
     def __init__(self, calculator: LineMacCalculator):
         self._calculator = calculator

@@ -31,6 +31,16 @@ class MacTree:
     recomputes the path and raises on any inconsistency.
     """
 
+    __slots__ = (
+        "_gmac",
+        "num_leaves",
+        "level_sizes",
+        "_leaves",
+        "_levels",
+        "root",
+        "tag_computations",
+    )
+
     def __init__(self, num_leaves: int, gmac: Gmac64):
         if num_leaves < 1:
             raise ValueError("need at least one leaf")

@@ -55,6 +55,18 @@ class BaselineSecureMemory:
         force deeper tree walks, which tests use to exercise verification.
     """
 
+    __slots__ = (
+        "layout",
+        "dimm",
+        "cipher",
+        "mac_calc",
+        "secded",
+        "tree",
+        "stats",
+        "_written_lines",
+        "_data_counters_seen",
+    )
+
     def __init__(
         self,
         num_data_lines: int,

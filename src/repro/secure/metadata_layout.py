@@ -44,6 +44,21 @@ class MetadataLayout:
         (8 in the paper: 8 counters / MACs / parities per 64-byte line).
     """
 
+    __slots__ = (
+        "num_data_lines",
+        "arity",
+        "num_counter_lines",
+        "num_mac_lines",
+        "num_parity_lines",
+        "counter_base",
+        "mac_base",
+        "parity_base",
+        "tree_base",
+        "tree_level_sizes",
+        "tree_level_bases",
+        "total_lines",
+    )
+
     def __init__(self, num_data_lines: int, arity: int = 8):
         if not is_power_of_two(num_data_lines):
             raise ValueError("num_data_lines must be a power of two")

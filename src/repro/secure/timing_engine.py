@@ -56,6 +56,21 @@ class TimingMetadataMap:
     paper's organisation).
     """
 
+    __slots__ = (
+        "num_data_lines",
+        "counter_coverage",
+        "counter_base",
+        "num_counter_lines",
+        "mac_base",
+        "num_mac_lines",
+        "parity_base",
+        "num_parity_lines",
+        "tree_level_bases",
+        "tree_level_sizes",
+        "total_lines",
+        "_tree_path_cache",
+    )
+
     def __init__(self, num_data_lines: int, counter_mode: CounterMode):
         self.num_data_lines = num_data_lines
         self.counter_coverage = (
@@ -145,6 +160,31 @@ class ExpandedAccess:
 
 class SecureTimingEngine:
     """Expands data accesses into design-specific memory traffic."""
+
+    __slots__ = (
+        "design",
+        "hierarchy",
+        "controller",
+        "map",
+        "stats",
+        "_t_tree_walk_depth",
+        "_t_mac_tree_walk_depth",
+        "_t_metadata_accesses",
+        "_t_counter_hits",
+        "_t_mac_hits",
+        "_c_counter_hits",
+        "_c_mac_hits",
+        "_n_metadata_accesses",
+        "_n_counter_hits",
+        "_n_mac_hits",
+        "_synced_telemetry",
+        "_tree_depth_acc",
+        "_mac_tree_depth_acc",
+        "_account_counters",
+        "_writeback_queue",
+        "_draining_writebacks",
+        "_in_writeback_path",
+    )
 
     def __init__(
         self,

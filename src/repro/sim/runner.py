@@ -11,8 +11,10 @@ but is simulated once per code version.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.analysis.sanitizer import get_sanitizer
+from repro.cpu.trace import Trace
 from repro.parallel import parallel_map, resolve_cache, resolve_jobs
 from repro.parallel.runcache import RunCache, cache_key
 from repro.secure.designs import SecureDesign
@@ -33,7 +35,7 @@ from repro.workloads.profiles import WorkloadProfile, profile_by_name
 #: are immutable (frozen records), so sharing one instance across
 #: simulators is safe. Bounded by wholesale clearing — the access pattern
 #: is a small working set per experiment, not an LRU-worthy stream.
-_TRACE_MEMO: dict = {}
+_TRACE_MEMO: Dict[Tuple[object, ...], Trace] = {}
 _TRACE_MEMO_MAX = 256
 
 
@@ -44,7 +46,7 @@ def _memoised_trace(
     base_line: int,
     seed_salt: object,
     scale_divisor: int,
-):
+) -> Trace:
     key = (profile, accesses, core, base_line, seed_salt, scale_divisor)
     try:
         trace = _TRACE_MEMO.get(key)
@@ -71,7 +73,7 @@ def _traces_for(
     workload: Union[str, WorkloadProfile],
     config: SystemConfig,
     seed_salt: object = "trace",
-):
+) -> Tuple[str, List[Trace]]:
     """Per-core traces: rate mode for a profile, one-each for a mix name."""
     if isinstance(workload, str) and workload in MIXES:
         names = MIXES[workload]
@@ -167,7 +169,14 @@ def _cell_key(
     )
 
 
-def _run_cell(task: Tuple) -> RunResult:
+def _run_cell(
+    task: Tuple[
+        SecureDesign,
+        Union[str, WorkloadProfile],
+        SystemConfig,
+        Optional[SystemEnergyParams],
+    ]
+) -> RunResult:
     """Module-level worker entry so cells pickle into pool processes."""
     design, workload, config, energy_params = task
     return run_workload(design, workload, config, energy_params)
@@ -206,6 +215,15 @@ def run_suite(
         if key is not None:
             payload = run_cache.get(key, label=label)
             if payload is not None:
+                sanitizer = get_sanitizer()
+                if sanitizer is not None:
+                    sanitizer.check_cached_payload(
+                        label,
+                        payload,
+                        lambda d=design, w=workload: run_workload(
+                            d, w, config, energy_params
+                        ).to_payload(),
+                    )
                 finished[(design, workload)] = RunResult.from_payload(payload)
                 continue
         pending.append(((design, workload), key, label))

@@ -32,6 +32,11 @@ from repro.telemetry.trace import get_tracer
 class TelemetryAggregate:
     """Merged snapshots, grouped by design/scheme plus one global merge."""
 
+    __slots__ = (
+        "_groups",
+        "_overall",
+    )
+
     def __init__(self) -> None:
         self._groups: Dict[str, MetricsSnapshot] = {}
         self._overall = MetricsSnapshot()

@@ -315,6 +315,7 @@ def merge_payloads(
 
 
 class _NullCounter:
+    __slots__ = ()  # all state is class-level; instances are shared singletons
     kind = Counter.kind
 
     def inc(self, amount: Number = 1) -> None:
@@ -327,6 +328,7 @@ class _NullCounter:
 
 
 class _NullGauge:
+    __slots__ = ()  # all state is class-level; instances are shared singletons
     kind = Gauge.kind
 
     def set(self, value: Number) -> None:
@@ -340,6 +342,7 @@ class _NullGauge:
 
 
 class _NullHistogram:
+    __slots__ = ()  # all state is class-level; instances are shared singletons
     kind = Histogram.kind
 
     def record(self, value: Number, weight: int = 1) -> None:
@@ -353,6 +356,7 @@ class _NullHistogram:
 
 
 class _NullTimer:
+    __slots__ = ()  # all state is class-level; instances are shared singletons
     kind = Timer.kind
 
     def record(self, seconds: float) -> None:

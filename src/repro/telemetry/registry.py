@@ -65,6 +65,10 @@ class MetricsSnapshot:
     are independent of completion order.
     """
 
+    __slots__ = (
+        "metrics",
+    )
+
     def __init__(self, metrics: Optional[Dict[str, Dict[str, object]]] = None):
         self.metrics: Dict[str, Dict[str, object]] = metrics or {}
 
@@ -186,6 +190,11 @@ class MetricsRegistry:
     ``enabled=False`` makes every factory return the shared null metric, so
     a disabled registry costs nothing at record sites and snapshots empty.
     """
+
+    __slots__ = (
+        "enabled",
+        "_metrics",
+    )
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled

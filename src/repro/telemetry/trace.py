@@ -77,6 +77,17 @@ class TraceEvent:
 class EventTracer:
     """Bounded ring buffer of :class:`TraceEvent`."""
 
+    __slots__ = (
+        "capacity",
+        "enabled",
+        "run_id",
+        "dropped",
+        "_seq",
+        "_events",
+        "_cell",
+        "_shard",
+    )
+
     def __init__(
         self, capacity: int = 4096, enabled: bool = False, run_id: str = ""
     ):

@@ -1,0 +1,409 @@
+"""Tests for repro.analysis: the lint engine/rules and the runtime sanitizer."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    lint_source,
+    load_baseline,
+    new_violations,
+    rule_catalogue,
+)
+from repro.analysis.linter import violations_to_baseline, write_baseline
+from repro.analysis.sanitizer import (
+    SanitizerError,
+    get_sanitizer,
+    sanitized,
+)
+from repro.core.cacheline_codec import (
+    data_line_parity,
+    encode_counter_line,
+    encode_data_line,
+)
+from repro.core.reconstruction import ReconstructionEngine
+from repro.dram.channel import ChannelState
+from repro.dram.timing import MemoryConfig
+from repro.secure.counter_tree import CounterTree
+from repro.secure.counters import COUNTERS_PER_LINE
+from repro.secure.mac import LineMacCalculator
+from repro.secure.metadata_layout import MetadataLayout
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# Linter rules: one fixture snippet per rule ID, triggering it exactly once.
+
+RULE_FIXTURES = {
+    "D101": ("import random\n", "<memory>"),
+    "D102": ("for item in {1, 2, 3}:\n    print(item)\n", "<memory>"),
+    "D103": ("def f(acc=[]):\n    return acc\n", "<memory>"),
+    "D104": (
+        "def check(x):\n    return x == 1.5\n",
+        "src/repro/crypto/fixture.py",
+    ),
+    "P201": (
+        "class Thing:\n    def __init__(self):\n        self.x = 1\n",
+        "src/repro/dram/fixture.py",
+    ),
+    "P202": (
+        "class Thing:\n"
+        '    __slots__ = ("x", "y")\n'
+        "    def __init__(self):\n"
+        "        self.x = 1\n"
+        "    def later(self):\n"
+        "        self.z = 2\n",
+        "src/repro/dram/fixture.py",
+    ),
+    "P203": (
+        "def drain(events):\n"
+        "    for event in events:\n"
+        '        get_registry().counter("n").inc()\n',
+        "<memory>",
+    ),
+    "H301": ("try:\n    work()\nexcept Exception:\n    pass\n", "<memory>"),
+    "H302": ("def f(hash):\n    return hash\n", "<memory>"),
+}
+
+
+class TestLintRules:
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_fixture_triggers_rule_exactly_once(self, rule_id):
+        source, path = RULE_FIXTURES[rule_id]
+        violations = lint_source(source, path=path)
+        assert [v.rule_id for v in violations] == [rule_id]
+
+    def test_catalogue_covers_every_fixture(self):
+        assert set(RULE_FIXTURES) == set(rule_catalogue())
+
+    def test_clean_source_has_no_findings(self):
+        source = (
+            "class Thing:\n"
+            '    __slots__ = ("x",)\n'
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+        )
+        assert lint_source(source, path="src/repro/dram/fixture.py") == []
+
+    def test_rng_wrapper_is_exempt_from_d101(self):
+        source, _path = RULE_FIXTURES["D101"]
+        assert lint_source(source, path="src/repro/util/rng.py") == []
+
+    def test_seeded_numpy_rng_is_allowed(self):
+        assert lint_source("rng = np.random.default_rng(1234)\n") == []
+        assert lint_source("rng = np.random.default_rng()\n") != []
+
+    def test_perf_counter_is_allowed(self):
+        assert lint_source("start = time.perf_counter()\n") == []
+
+    def test_reraising_broad_except_is_allowed(self):
+        source = "try:\n    work()\nexcept BaseException:\n    raise\n"
+        assert lint_source(source) == []
+
+    def test_dataclasses_exempt_from_slots_rule(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Config:\n"
+            "    x: int = 0\n"
+        )
+        assert lint_source(source, path="src/repro/dram/fixture.py") == []
+
+
+class TestSuppression:
+    def test_inline_suppression_silences_one_rule(self):
+        source = "def f(acc=[]):  # lint-ok: D103 fixture exercises suppression\n    return acc\n"
+        assert lint_source(source) == []
+
+    def test_suppression_is_rule_specific(self):
+        source = "def f(acc=[]):  # lint-ok: H302\n    return acc\n"
+        assert [v.rule_id for v in lint_source(source)] == ["D103"]
+
+    def test_multiple_ids_one_comment(self):
+        source = "def f(hash, acc=[]):  # lint-ok: D103, H302\n    return acc\n"
+        assert lint_source(source) == []
+
+
+class TestBaseline:
+    def _violations(self):
+        source, path = RULE_FIXTURES["D103"]
+        return lint_source(source, path=path)
+
+    def test_baselined_findings_are_absorbed(self, tmp_path):
+        violations = self._violations()
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, violations)
+        baseline = load_baseline(baseline_file)
+        assert new_violations(violations, baseline) == []
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        old = self._violations()
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        fresh = lint_source("import random\n") + old
+        remaining = new_violations(fresh, load_baseline(baseline_file))
+        assert [v.rule_id for v in remaining] == ["D101"]
+
+    def test_baseline_key_survives_line_drift(self):
+        violations = self._violations()
+        baseline = violations_to_baseline(violations)
+        source, path = RULE_FIXTURES["D103"]
+        drifted = lint_source("\n\n" + source, path=path)
+        assert new_violations(drifted, baseline) == []
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_baseline_file_round_trips_json(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, self._violations())
+        payload = json.loads(baseline_file.read_text())
+        assert payload["entries"][0]["rule"] == "D103"
+
+
+class TestRepoIsClean:
+    def test_lint_cli_passes_on_head_with_baseline(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_repro.py"), "--baseline"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_lint_cli_fails_on_synthetic_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_repro.py"), str(bad)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "D101" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: plumbing
+
+
+class TestSanitizerPlumbing:
+    def test_off_means_none(self):
+        with sanitized(False):
+            assert get_sanitizer() is None
+
+    def test_on_means_shared_instance(self):
+        with sanitized() as sanitizer:
+            assert sanitizer is not None
+            assert get_sanitizer() is sanitizer
+
+    def test_components_bind_at_init(self):
+        with sanitized(False):
+            channel = ChannelState(MemoryConfig())
+        assert channel._sanitizer is None
+        with sanitized():
+            channel = ChannelState(MemoryConfig())
+        assert channel._sanitizer is not None
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: DRAM timing legality
+
+
+class TestDramSanitizer:
+    def test_legal_sequence_passes_and_counts(self):
+        with sanitized() as sanitizer:
+            channel = ChannelState(MemoryConfig())
+            now = 0
+            for row in (5, 5, 9):
+                plan = channel.plan(0, 0, row, False, now)
+                channel.commit(0, 0, row, False, plan)
+                now = plan[2]
+        assert sanitizer.checks >= 3
+        assert sanitizer.last_check == "dram_commit"
+
+    def test_illegal_transition_is_caught(self):
+        with sanitized():
+            channel = ChannelState(MemoryConfig())
+            plan = channel.plan(0, 0, 5, False, 0)
+            channel.commit(0, 0, 5, False, plan)
+            # Replaying the same plan starts the next command before the
+            # bank's ready_at (tCCD) — an illegal timing transition.
+            with pytest.raises(SanitizerError, match="ready_at"):
+                channel.commit(0, 0, 5, False, plan)
+
+    def test_understated_latency_is_caught(self):
+        with sanitized():
+            channel = ChannelState(MemoryConfig())
+            start, data_start, completion = channel.plan(0, 0, 5, False, 0)
+            # Claim the data appears one cycle too early for a closed bank
+            # (violates tRCD+CL) while keeping the burst arithmetic valid.
+            with pytest.raises(SanitizerError, match="latency"):
+                channel.commit(0, 0, 5, False, (start + 1, data_start, completion))
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: RAID-3 reconstruction
+
+
+@pytest.fixture
+def mac_calc(keys):
+    return LineMacCalculator(keys.make_mac())
+
+
+class TestReconstructionSanitizer:
+    def test_clean_correction_passes(self, keys):
+        with sanitized() as sanitizer:
+            mac_calc = LineMacCalculator(keys.make_mac())
+            engine = ReconstructionEngine(mac_calc)
+            ciphertext = bytes(range(64))
+            mac = mac_calc.data_mac(0, 1, ciphertext)
+            lanes = encode_data_line(ciphertext, mac)
+            parity = data_line_parity(lanes)
+            corrupted = list(lanes)
+            corrupted[3] = b"\xff" * 8
+            outcome = engine.correct_data_line(0, corrupted, 1, parity)
+            assert outcome is not None
+            assert sanitizer.last_check == "data_reconstruction"
+
+    def test_budget_counters_unperturbed_by_sanitizer(self, keys):
+        def correct_once(enabled):
+            with sanitized(enabled):
+                mac_calc = LineMacCalculator(keys.make_mac())
+                engine = ReconstructionEngine(mac_calc)
+                counters = [10 + i for i in range(8)]
+                mac = mac_calc.counter_line_mac(100, 7, counters)
+                lanes = encode_counter_line(counters, mac)
+                corrupted = list(lanes)
+                corrupted[2] = b"\x55" * 8
+                mac_calc.reset_count()
+                outcome = engine.correct_counter_line(100, corrupted, 7)
+                assert outcome is not None
+                return mac_calc.computations
+
+        assert correct_once(True) == correct_once(False)
+
+    def test_corrupted_parity_lane_is_caught(self, keys):
+        with sanitized() as sanitizer:
+            mac_calc = LineMacCalculator(keys.make_mac())
+            ciphertext = bytes(range(64))
+            mac = mac_calc.data_mac(0, 1, ciphertext)
+            lanes = encode_data_line(ciphertext, mac)
+            bad_parity = bytes(8)  # inconsistent with the nine lanes
+            with pytest.raises(SanitizerError, match="XOR"):
+                sanitizer.check_data_reconstruction(
+                    mac_calc, 0, 1, lanes, bad_parity, lanes, ()
+                )
+
+    def test_ambiguous_counter_match_is_caught(self, keys):
+        with sanitized() as sanitizer:
+            mac_calc = LineMacCalculator(keys.make_mac())
+            counters = [10 + i for i in range(8)]
+            mac = mac_calc.counter_line_mac(100, 7, counters)
+            lanes = encode_counter_line(counters, mac)
+            # Forge a second hypothesis with different counters whose MAC
+            # genuinely verifies: the correction would be ambiguous.
+            other = [99] * 8
+            forged = mac_calc.counter_line_mac_raw(100, 7, other)
+            with pytest.raises(SanitizerError, match="ambiguous"):
+                sanitizer.check_counter_reconstruction(
+                    mac_calc, 100, 7, counters, lanes, [(5, other, forged)]
+                )
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: counter tree
+
+
+class _DictStore:
+    """Minimal LineStore: exact (counters, mac) round-trip."""
+
+    def __init__(self):
+        self.lines = {}
+
+    def load_counter_line(self, address):
+        return self.lines.get(address)
+
+    def store_counter_line(self, address, counters, mac):
+        self.lines[address] = (list(counters), bytes(mac))
+
+
+class TestCounterTreeSanitizer:
+    def _tree(self, keys):
+        layout = MetadataLayout(num_data_lines=64)
+        return CounterTree(layout, LineMacCalculator(keys.make_mac()), _DictStore())
+
+    def test_consistent_bump_passes(self, keys):
+        with sanitized() as sanitizer:
+            tree = self._tree(keys)
+            chain = [(100, 3), (200, 0)]
+            trusted = {
+                100: [0] * COUNTERS_PER_LINE,
+                200: [0] * COUNTERS_PER_LINE,
+            }
+            leaf = tree.bump_chain(chain, trusted)
+        assert leaf == 1
+        assert sanitizer.last_check == "counter_chain"
+
+    def test_undetectable_store_corruption_is_caught(self, keys):
+        with sanitized() as sanitizer:
+            tree = self._tree(keys)
+            chain = [(100, 3)]
+            trusted = {100: [0] * COUNTERS_PER_LINE}
+            tree.bump_chain(chain, trusted)
+            # Forge a *verifying* line with different counters in the store:
+            # corruption the integrity tree could never detect.
+            updated = {100: [0] * COUNTERS_PER_LINE}
+            updated[100][3] = 1
+            other = [7] * COUNTERS_PER_LINE
+            forged_mac = tree.mac_calc.counter_line_mac_raw(100, tree.root, other)
+            tree.store.lines[100] = (other, forged_mac)
+            with pytest.raises(SanitizerError, match="undetectable"):
+                sanitizer.check_counter_chain(tree, chain, trusted, updated)
+
+    def test_detectable_corruption_is_reconstructions_job(self, keys):
+        with sanitized() as sanitizer:
+            tree = self._tree(keys)
+            chain = [(100, 3)]
+            trusted = {100: [0] * COUNTERS_PER_LINE}
+            tree.bump_chain(chain, trusted)
+            updated = {100: [0] * COUNTERS_PER_LINE}
+            updated[100][3] = 1
+            counters, mac = tree.store.lines[100]
+            corrupt = list(counters)
+            corrupt[5] = 12345  # counters change, MAC does not: detectable
+            tree.store.lines[100] = (corrupt, mac)
+            sanitizer.check_counter_chain(tree, chain, trusted, updated)
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: run-cache replay
+
+
+class TestCacheReplaySanitizer:
+    def test_equal_payloads_pass(self):
+        with sanitized() as sanitizer:
+            sanitizer.check_cached_payload("cell", {"a": 1}, lambda: {"a": 1})
+
+    def test_diverging_payloads_are_caught(self):
+        with sanitized() as sanitizer:
+            with pytest.raises(SanitizerError, match="differs"):
+                sanitizer.check_cached_payload("cell", {"a": 1}, lambda: {"a": 2})
+
+    def test_warm_run_suite_replays_byte_equal(self, keys):
+        from repro.secure.designs import SYNERGY
+        from repro.sim.config import SystemConfig
+        from repro.sim.runner import run_suite
+
+        del keys  # session keys fixture keeps crypto setup warm
+        config = SystemConfig(accesses_per_core=300)
+        with sanitized() as sanitizer:
+            cold = run_suite([SYNERGY], ["mcf"], config)
+            warm = run_suite([SYNERGY], ["mcf"], config)
+            assert sanitizer.last_check == "cached_payload"
+        assert cold.results[0].ipc == warm.results[0].ipc

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Run the repro linter (repro.analysis) over the source tree.
+
+Usage:
+
+    python tools/lint_repro.py                 # lint src/repro, all findings
+    python tools/lint_repro.py --baseline      # fail only on NEW findings
+    python tools/lint_repro.py --write-baseline  # accept current findings
+    python tools/lint_repro.py --list-rules    # print the rule catalogue
+    python tools/lint_repro.py path/to/file.py # lint specific files/dirs
+
+Exit status: 0 when no (new) violations, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    lint_paths,
+    load_baseline,
+    new_violations,
+    rule_catalogue,
+)
+from repro.analysis.linter import write_baseline  # noqa: E402
+
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="filter findings through %s; fail only on new ones"
+        % DEFAULT_BASELINE.relative_to(REPO_ROOT),
+    )
+    parser.add_argument(
+        "--baseline-file",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="alternate baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in rule_catalogue().items():
+            print(f"{rule_id}  {rule.title}")
+            print(f"      {rule.rationale}")
+        return 0
+
+    targets = args.paths or [DEFAULT_TARGET]
+    targets = [p if p.is_absolute() else (REPO_ROOT / p) for p in targets]
+    violations = lint_paths(targets, root=REPO_ROOT)
+
+    if args.write_baseline:
+        write_baseline(args.baseline_file, violations)
+        print(
+            f"wrote {len(violations)} finding(s) to "
+            f"{args.baseline_file.relative_to(REPO_ROOT)}"
+        )
+        return 0
+
+    if args.baseline:
+        violations = new_violations(violations, load_baseline(args.baseline_file))
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        label = "new " if args.baseline else ""
+        print(f"{len(violations)} {label}violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
