@@ -23,6 +23,10 @@ Invariants checked (paper cross-references in DESIGN.md):
   *new* parent value (Section II-A4).
 * Run cache — a replayed payload is byte-equal (canonical JSON) to a
   fresh recomputation of the same cell.
+* Scheduler index — at every controller ``process()`` epoch the
+  incremental FR-FCFS structures (per-channel open-row table, closed-bank
+  tally, per-pool row census) agree with a fresh scan of the queues
+  against the actual bank states (the PR-5 indexed-chooser invariant).
 """
 
 from __future__ import annotations
@@ -156,6 +160,63 @@ class Sanitizer:
                         f"DRAM: command at {start} inside refresh blackout "
                         f"(phase {phase} < tRFC {timing.t_rfc}) with no "
                         f"pinning constraint [{where}]"
+                    )
+
+    # ------------------------------------------------------------------
+    # FR-FCFS row-hit index (hook: MemoryController.process / sampled
+    # per-decision inside _process_channel)
+    # ------------------------------------------------------------------
+
+    def check_scheduler_index(self, controller: Any) -> None:
+        """The controller's incremental scheduling indexes must agree with
+        a fresh scan of ground truth: each channel's ``open_rows`` table
+        and ``closed_banks`` tally mirror per-bank state, and each pool's
+        row census (``row_counts``/``hits``) equals a recount of the queued
+        requests. Runs at every ``process()`` epoch boundary and sampled
+        between decisions, so index-maintenance bugs fail loudly instead
+        of silently changing schedules."""
+        self._enter("scheduler_index")
+        for channel_index, channel in enumerate(controller.channels):
+            open_rows = channel.open_rows
+            closed = 0
+            for flat, bank in enumerate(channel.banks):
+                expected = -1 if bank.open_row is None else bank.open_row
+                if open_rows[flat] != expected:
+                    self._fail(
+                        f"scheduler index: channel {channel_index} bank {flat} "
+                        f"open-row table holds {open_rows[flat]}, bank state "
+                        f"says {expected}"
+                    )
+                if bank.open_row is None:
+                    closed += 1
+            if closed != channel.closed_banks:
+                self._fail(
+                    f"scheduler index: channel {channel_index} closed_banks "
+                    f"is {channel.closed_banks}, fresh count is {closed}"
+                )
+            queues = controller._queues[channel_index]
+            for name, pool, index in (
+                ("read", queues.reads, queues.read_index),
+                ("write", queues.writes, queues.write_index),
+            ):
+                counts: Dict[int, int] = {}
+                hits = 0
+                for request in pool:
+                    key = request.row_key
+                    counts[key] = counts.get(key, 0) + 1
+                    if open_rows[request.flat_bank] == request.row:
+                        hits += 1
+                if counts != index.row_counts:
+                    self._fail(
+                        f"scheduler index: channel {channel_index} {name} "
+                        f"pool row_counts diverged from a fresh scan "
+                        f"({len(index.row_counts)} keys vs {len(counts)})"
+                    )
+                if hits != index.hits:
+                    self._fail(
+                        f"scheduler index: channel {channel_index} {name} "
+                        f"pool hit tally is {index.hits}, fresh scan "
+                        f"counts {hits}"
                     )
 
     # ------------------------------------------------------------------

@@ -23,9 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Iterator, Optional, Tuple
 
-from repro.cpu.trace import MemoryOp, Trace, TraceRecord
-
-_READ = MemoryOp.READ
+from repro.cpu.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -86,8 +84,10 @@ class CoreModel:
         self.params = params
         self._read_fn = read_fn
         self._write_fn = write_fn
-        self._records: Iterator[TraceRecord] = iter(trace)
-        self._pending_record: Optional[TraceRecord] = None
+        # Columnar iteration: (gap, is_write, line) int tuples straight
+        # from the trace arrays — no per-record object construction.
+        self._records: Iterator[Tuple[int, int, int]] = trace.iter_accesses()
+        self._pending_record: Optional[Tuple[int, int, int]] = None
 
         self.fetch_time = 0.0
         self.retire_time = 0.0
@@ -137,7 +137,7 @@ class CoreModel:
                     return None
             self._pending_record = record
 
-            gap = record.gap
+            gap, is_write, line_address = record
             mem_position = fetched_count + gap  # the memory op
             needed_retired = mem_position + 1 - rob
             if needed_retired > self.retired_count:
@@ -155,15 +155,15 @@ class CoreModel:
 
             fetch_time += (gap + 1) / width
             fetched_count = mem_position + 1
-            if record.op is _READ:
+            if is_write:
                 self.fetch_time = fetch_time
                 self.fetched_count = fetched_count
-                handle = read_fn(record.line_address, fetch_time, core_id)
-                pending_append((mem_position, handle))
+                write_fn(line_address, fetch_time, core_id)
             else:
                 self.fetch_time = fetch_time
                 self.fetched_count = fetched_count
-                write_fn(record.line_address, fetch_time, core_id)
+                handle = read_fn(line_address, fetch_time, core_id)
+                pending_append((mem_position, handle))
             self._pending_record = None
 
     # ------------------------------------------------------------------

@@ -5,13 +5,21 @@ instructions, then perform one memory operation at ``line_address``".
 Addresses are cacheline-granular (the caches and DRAM all speak lines).
 This is the same shape as USIMM input traces; here they come from the
 synthetic workload generator rather than Pin.
+
+Storage is columnar: a :class:`Trace` holds three compact parallel arrays
+(``gaps``/``ops``/``lines``) instead of one Python object per record —
+roughly 17 bytes per access instead of ~100 — and hands hot consumers the
+raw columns via :meth:`Trace.iter_accesses`. :class:`TraceRecord` remains
+the one-record view for file I/O, tests, and ad-hoc construction;
+iterating a trace yields records, so existing callers are unchanged.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, Tuple
 
 
 class MemoryOp(enum.Enum):
@@ -48,27 +56,74 @@ class TraceRecord:
 
 
 class Trace:
-    """An in-memory trace with summary statistics."""
+    """An in-memory trace: compact parallel columns plus summary stats.
+
+    ``gaps``/``lines`` are signed-64 arrays, ``ops`` is a byte/bool array
+    (truthy = write). Columns are either numpy arrays (the vectorised
+    generator's output) or stdlib ``array`` objects (the record-compat
+    constructor); both expose ``tolist`` and ``len``, which is all the
+    consumers use.
+    """
 
     __slots__ = (
-        "records",
+        "gaps",
+        "ops",
+        "lines",
         "name",
     )
 
-    def __init__(self, records: Iterable[TraceRecord], name: str = "trace"):
-        self.records: List[TraceRecord] = list(records)
+    def __init__(self, records: Iterable[TraceRecord] = (), name: str = "trace"):
+        gaps = array("q")
+        ops = array("b")
+        lines = array("q")
+        for record in records:
+            gaps.append(record.gap)
+            ops.append(1 if record.op is MemoryOp.WRITE else 0)
+            lines.append(record.line_address)
+        self.gaps = gaps
+        self.ops = ops
+        self.lines = lines
         self.name = name
 
+    @classmethod
+    def from_arrays(cls, gaps, ops, lines, name: str = "trace") -> "Trace":
+        """Build a trace directly from parallel columns (no validation).
+
+        Columns must be equal length and support ``tolist``/``len``;
+        ``ops`` entries are truthy for writes. The arrays are adopted,
+        not copied.
+        """
+        trace = cls.__new__(cls)
+        trace.gaps = gaps
+        trace.ops = ops
+        trace.lines = lines
+        trace.name = name
+        return trace
+
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        write = MemoryOp.WRITE
+        read = MemoryOp.READ
+        for gap, op, line in zip(
+            self.gaps.tolist(), self.ops.tolist(), self.lines.tolist()
+        ):
+            yield TraceRecord(gap, write if op else read, line)
+
+    def iter_accesses(self) -> Iterator[Tuple[int, int, int]]:
+        """Raw column iterator: ``(gap, is_write, line_address)`` tuples.
+
+        The hot-path view: plain ints (``is_write`` truthy for writes),
+        no per-record object construction. One ``tolist`` per column up
+        front, then a C-speed zip.
+        """
+        return zip(self.gaps.tolist(), self.ops.tolist(), self.lines.tolist())
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.gaps)
 
     @property
     def total_instructions(self) -> int:
         """Total instructions represented by the trace."""
-        return sum(record.instructions for record in self.records)
+        return int(sum(self.gaps.tolist())) + len(self.gaps)
 
     @property
     def accesses_per_kilo_instruction(self) -> float:
@@ -76,16 +131,15 @@ class Trace:
         instructions = self.total_instructions
         if instructions == 0:
             return 0.0
-        return 1000.0 * len(self.records) / instructions
+        return 1000.0 * len(self.gaps) / instructions
 
     @property
     def write_fraction(self) -> float:
         """Fraction of memory ops that are writes."""
-        if not self.records:
+        if not len(self.gaps):
             return 0.0
-        writes = sum(1 for r in self.records if r.op is MemoryOp.WRITE)
-        return writes / len(self.records)
+        return sum(1 for op in self.ops.tolist() if op) / len(self.gaps)
 
     def footprint_lines(self) -> int:
         """Distinct cachelines touched."""
-        return len({record.line_address for record in self.records})
+        return len(set(self.lines.tolist()))

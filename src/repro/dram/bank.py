@@ -80,8 +80,13 @@ class BankState:
             return self._lat_hit_write if is_write else self._lat_hit_read
         return self._lat_miss_write if is_write else self._lat_miss_read
 
-    def begin_access(self, row: int, start: int, is_write: bool) -> None:
-        """Commit an access starting at ``start``; updates row + ready time."""
+    def begin_access(self, row: int, start: int, is_write: bool) -> Optional[int]:
+        """Commit an access starting at ``start``; updates row + ready time.
+
+        Returns the row that was open *before* this access (``None`` for a
+        closed bank) so the channel can maintain its flat open-row table
+        without re-reading bank state around the call.
+        """
         open_row = self.open_row
         if open_row == row:
             self.row_hits += 1
@@ -99,6 +104,7 @@ class BankState:
         self.ready_at = start + (
             self._ready_delta_write if is_write else self._ready_delta_read
         )
+        return open_row
 
     def earliest_start(self, now: int) -> int:
         """Earliest cycle a new command to this bank may start."""

@@ -26,6 +26,8 @@ class ChannelState:
         "config",
         "timing",
         "banks",
+        "open_rows",
+        "closed_banks",
         "bus_free_at",
         "last_was_write",
         "busy_cycles",
@@ -50,6 +52,17 @@ class ChannelState:
         self.banks: List[BankState] = [
             BankState(config.timing) for _ in range(config.banks_per_channel)
         ]
+        #: Open-row table: ``open_rows[flat_bank]`` mirrors the bank's
+        #: ``open_row`` with -1 for closed. Schedulers classify candidates
+        #: against this flat list (one index + compare) instead of chasing
+        #: per-bank attributes, and the controller's row-hit index keys off
+        #: it. Maintained exclusively by :meth:`commit`.
+        self.open_rows: List[int] = [-1] * config.banks_per_channel
+        #: Banks whose row buffer has never been opened. Monotone to zero
+        #: (open-page policy never precharges without activating), which
+        #: makes ``closed_banks == 0`` a cheap "every candidate classifies
+        #: hit-or-miss" predicate for scheduler fast paths.
+        self.closed_banks = config.banks_per_channel
         self.bus_free_at = 0
         self.last_was_write = False
         self.busy_cycles = 0  #: data-bus occupancy accumulator (utilisation)
@@ -118,15 +131,49 @@ class ChannelState:
     ) -> Tuple[int, int, int]:
         """Earliest (command_start, data_start, completion) for a request.
 
-        Pure computation — does not commit any state.
+        Does not commit bank/bus state (only the refresh-stall accounting
+        mutates, exactly as the ``_after_refresh`` helper it inlines). The
+        body is self-contained — one call per scheduling decision instead
+        of four — but computes the identical sequence: bank-ready clamp,
+        refresh blackout, tFAW/tRRD, latency class, bus turnaround.
         """
         bank_state = self.banks[rank * self._banks_per_rank + bank]
-        start = bank_state.earliest_start(now)
-        will_activate = bank_state.open_row != row
-        start = self._after_refresh(start)
-        if will_activate:
-            start = self._after_faw(rank, start, True)
-        latency = bank_state.access_latency(row, is_write)
+        ready = bank_state.ready_at
+        start = ready if ready > now else now
+        open_row = bank_state.open_row
+        if self._model_refresh:
+            phase = start % self._t_refi
+            if phase < self._t_rfc:
+                shifted = start + (self._t_rfc - phase)
+                self.refresh_stall_cycles += shifted - start
+                start = shifted
+        if open_row != row:
+            if self._model_faw:
+                history = self._recent_activates[rank]
+                if history:
+                    after_rrd = history[-1] + self._t_rrd
+                    if after_rrd > start:
+                        start = after_rrd
+                    if len(history) >= 4:
+                        after_faw = history[-4] + self._t_faw
+                        if after_faw > start:
+                            start = after_faw
+            if open_row is None:
+                latency = (
+                    bank_state._lat_closed_write
+                    if is_write
+                    else bank_state._lat_closed_read
+                )
+            else:
+                latency = (
+                    bank_state._lat_miss_write
+                    if is_write
+                    else bank_state._lat_miss_read
+                )
+        else:
+            latency = (
+                bank_state._lat_hit_write if is_write else bank_state._lat_hit_read
+            )
         data_start = start + latency
         if is_write:
             turnaround = 0 if self.last_was_write else self._t_rtw
@@ -147,13 +194,31 @@ class ChannelState:
         if self._sanitizer is not None:
             self._sanitizer.check_dram_commit(self, rank, bank, row, is_write, plan)
         start, data_start, completion = plan
-        bank_state = self.banks[rank * self._banks_per_rank + bank]
-        if self._model_faw and bank_state.open_row != row:
-            history = self._recent_activates[rank]
-            history.append(start)
-            if len(history) > 8:
-                del history[:-8]
-        bank_state.begin_access(row, start, is_write)
+        flat = rank * self._banks_per_rank + bank
+        bank_state = self.banks[flat]
+        # Inlined BankState.begin_access (kept as a method for unit tests):
+        # identical row-hit/miss accounting, activation tracking, and
+        # ready-time update, merged with the open-row table maintenance.
+        open_row = bank_state.open_row
+        if open_row == row:
+            bank_state.row_hits += 1
+        else:
+            if self._model_faw:
+                history = self._recent_activates[rank]
+                history.append(start)
+                if len(history) > 8:
+                    del history[:-8]
+            bank_state.row_misses += 1
+            if open_row is not None:
+                bank_state.activated_at = start + bank_state._t_rp
+            else:
+                bank_state.activated_at = start
+                self.closed_banks -= 1
+            bank_state.open_row = row
+            self.open_rows[flat] = row
+        bank_state.ready_at = start + (
+            bank_state._ready_delta_write if is_write else bank_state._ready_delta_read
+        )
         self.bus_free_at = completion
         self.last_was_write = is_write
         self.busy_cycles += completion - data_start

@@ -15,22 +15,39 @@ cycle; rank-level constraints (tFAW/tRRD) are intentionally omitted
 (second-order for the traffic-volume effects this reproduction targets —
 see DESIGN.md).
 
-Hot-path notes: ``enqueue`` and the per-decision ``_choose`` loop run once
+Hot-path notes: ``enqueue`` and the per-decision scheduling loop run once
 per memory request and once per scheduling decision respectively — millions
 of times per grid cell. Request is a ``__slots__`` class with ``is_write``
-precomputed, per-(category, kind) stat counters are bound once in a lookup
-table instead of string-formatted per request, the candidate scan reads
-bank state directly against precomputed latency constants, and the pools
-are deques so removing the chosen request near the head is O(WINDOW), not
-O(queue).
+and the row-index key precomputed, per-(category, kind) stat counters are
+bound once in a lookup table instead of string-formatted per request, and
+``incoming`` is a plain list sorted once per ``process`` epoch (one Timsort
+over an almost-sorted list beats a heap pop per request).
+
+The decision itself is indexed, not scanned: each pool keeps an incremental
+row-hit census (``_PoolRowIndex``) so the common cases resolve in O(1) —
+
+* pool has no row hits and every bank is open: all candidates are
+  same-latency row misses, so the oldest request (the pool head) wins
+  outright, no scan;
+* otherwise the bounded window scan runs, but exits as soon as the current
+  best is a ready row hit (unbeatable) and prunes on arrival order (pools
+  are age-sorted, so once ``arrival >= best_estimate - lat_hit`` no later
+  candidate can win).
+
+The same census powers the late-arrival re-choose: admissions that cannot
+have changed the scanned window (same pool object, window already full or
+length unchanged) reuse the first decision instead of rescanning.
+Invariants of the index are sanitizer-checked (REPRO_SANITIZE=1) against a
+fresh queue scan; see ``repro.analysis.sanitizer.check_scheduler_index``.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.sanitizer import get_sanitizer
 
 from repro.dram.address import AddressMapper
 from repro.dram.channel import ChannelState
@@ -69,6 +86,7 @@ class Request:
         "bank",
         "row",
         "flat_bank",
+        "row_key",
         "completion",
         "sequence",
         "is_write",
@@ -99,6 +117,10 @@ class Request:
         self.bank = bank
         self.row = row
         self.flat_bank = flat_bank
+        # Row-index key: (flat_bank, row) packed into one int so the
+        # per-pool row census needs a single dict probe per event. Rows are
+        # far below 2**40 for any modelled geometry.
+        self.row_key = (flat_bank << 40) | row
         self.completion = completion
         self.sequence = sequence
         self.is_write = kind is _WRITE
@@ -113,13 +135,39 @@ class Request:
         )
 
 
-class _ChannelQueues:
-    __slots__ = ("incoming", "reads", "writes", "last_command_start")
+class _PoolRowIndex:
+    """Incremental open-row census for one scheduling pool.
+
+    ``row_counts[row_key]`` is the number of queued requests targeting that
+    (flat_bank, row); ``hits`` is the number of queued requests whose row is
+    currently open in their bank. Both are maintained on admit/remove and
+    re-based when a commit moves a bank's open row, so the scheduler can ask
+    "does this pool contain any row hit?" in O(1) instead of scanning.
+    """
+
+    __slots__ = ("row_counts", "hits")
 
     def __init__(self) -> None:
-        self.incoming: List = []  # heap of (arrival, seq, req)
+        self.row_counts: Dict[int, int] = {}
+        self.hits = 0
+
+
+class _ChannelQueues:
+    __slots__ = (
+        "incoming",
+        "reads",
+        "writes",
+        "read_index",
+        "write_index",
+        "last_command_start",
+    )
+
+    def __init__(self) -> None:
+        self.incoming: List = []  # (arrival, seq, req); sorted per epoch
         self.reads: Deque[Request] = deque()
         self.writes: Deque[Request] = deque()
+        self.read_index = _PoolRowIndex()
+        self.write_index = _PoolRowIndex()
         self.last_command_start = -1
 
 
@@ -163,6 +211,8 @@ class MemoryController:
         "_dec_rank_mask",
         "_dec_row_shift",
         "_dec_row_mask",
+        "_sanitizer",
+        "_san_tick",
     )
 
     def __init__(self, config: MemoryConfig):
@@ -228,6 +278,11 @@ class MemoryController:
         self._depth_acc: Dict[int, int] = {}
         self._read_lat_acc: Dict[int, int] = {}
         self._write_lat_acc: Dict[int, int] = {}
+        # None unless REPRO_SANITIZE is on; when set, the row-hit index is
+        # cross-checked against a fresh queue scan (sampled per decision and
+        # at every process() epoch boundary).
+        self._sanitizer = get_sanitizer()
+        self._san_tick = 0
 
     # ------------------------------------------------------------------
 
@@ -261,22 +316,29 @@ class MemoryController:
             )
         sequence = self._sequence + 1
         self._sequence = sequence
-        request = Request(
-            kind,
-            line_address,
-            arrival,
-            category,
-            core,
-            channel,
-            rank,
-            bank,
-            row,
-            rank * self._banks_per_rank + bank,
-            None,
-            sequence,
-        )
+        # Build the request through __new__ + direct slot writes: ~2.5x
+        # cheaper than the __init__ call on this per-request path.
+        request = Request.__new__(Request)
+        request.kind = kind
+        request.line_address = line_address
+        request.arrival = arrival
+        request.category = category
+        request.core = core
+        request.channel = channel
+        request.rank = rank
+        request.bank = bank
+        request.row = row
+        flat_bank = rank * self._banks_per_rank + bank
+        request.flat_bank = flat_bank
+        request.row_key = (flat_bank << 40) | row
+        request.completion = None
+        request.sequence = sequence
+        request.is_write = kind is _WRITE
         queues = self._queues[channel]
-        heapq.heappush(queues.incoming, (arrival, sequence, request))
+        # Plain append: _process_channel sorts the backlog once per epoch.
+        # Arrivals are emitted almost-sorted, so the Timsort is near-linear
+        # and strictly cheaper than a heap operation per request.
+        queues.incoming.append((arrival, sequence, request))
         try:
             counters = self._traffic_counters[(category, kind)]
         except KeyError:
@@ -287,12 +349,83 @@ class MemoryController:
         counters[1].value += 1
         return request
 
+    def enqueue_batch(
+        self, specs: List[Tuple[RequestKind, int, int, str, int]]
+    ) -> List[Request]:
+        """Enqueue ``(kind, line, arrival, category, core)`` specs in order.
+
+        Sequence numbers are assigned in list order, exactly as the same
+        calls made one by one — producers that expand one event into
+        several requests (the secure engine's metadata expansion) buffer
+        their emissions and flush through here to amortise the per-call
+        binding without perturbing arbitration order.
+        """
+        if not self._pow2_decode:
+            enqueue = self.enqueue
+            return [
+                enqueue(kind, line, arrival, category, core)
+                for kind, line, arrival, category, core in specs
+            ]
+        total_mask = self._dec_total_mask
+        channel_mask = self._dec_channel_mask
+        bank_shift = self._dec_bank_shift
+        bank_mask = self._dec_bank_mask
+        rank_shift = self._dec_rank_shift
+        rank_mask = self._dec_rank_mask
+        row_shift = self._dec_row_shift
+        row_mask = self._dec_row_mask
+        banks_per_rank = self._banks_per_rank
+        queues = self._queues
+        traffic_counters = self._traffic_counters
+        sequence = self._sequence
+        new = Request.__new__
+        out: List[Request] = []
+        append = out.append
+        for kind, line_address, arrival, category, core in specs:
+            masked = line_address & total_mask
+            channel = masked & channel_mask
+            bank = (masked >> bank_shift) & bank_mask
+            rank = (masked >> rank_shift) & rank_mask
+            row = (masked >> row_shift) & row_mask
+            sequence += 1
+            request = new(Request)
+            request.kind = kind
+            request.line_address = line_address
+            request.arrival = arrival
+            request.category = category
+            request.core = core
+            request.channel = channel
+            request.rank = rank
+            request.bank = bank
+            request.row = row
+            flat_bank = rank * banks_per_rank + bank
+            request.flat_bank = flat_bank
+            request.row_key = (flat_bank << 40) | row
+            request.completion = None
+            request.sequence = sequence
+            request.is_write = kind is _WRITE
+            queues[channel].incoming.append((arrival, sequence, request))
+            try:
+                counters = traffic_counters[(category, kind)]
+            except KeyError:
+                counters = self._counters_for(category, kind)
+            counters[0].value += 1
+            counters[1].value += 1
+            append(request)
+        self._sequence = sequence
+        return out
+
     # ------------------------------------------------------------------
 
     def process(self) -> None:
         """Schedule every enqueued request, assigning completions."""
         for channel_index in range(self.config.channels):
             self._process_channel(channel_index)
+        if self._sanitizer is not None:
+            # Epoch boundary: the row-hit index must agree with a fresh
+            # scan of the (now drained) queues and the open-row tables
+            # must mirror bank state.
+            self._sanitizer.check_scheduler_index(self)
 
     def _process_channel(self, channel_index: int) -> None:
         channel = self.channels[channel_index]
@@ -301,83 +434,261 @@ class MemoryController:
         incoming = queues.incoming
         reads = queues.reads
         writes = queues.writes
-        heappop = heapq.heappop
-        choose = self._choose
+        read_index = queues.read_index
+        write_index = queues.write_index
+        open_rows = channel.open_rows
+        banks = channel.banks
+        plan_fn = channel.plan
+        lat_hit_read = self._lat_hit_read
+        lat_hit_write = self._lat_hit_write
+        lat_miss_read = self._lat_miss_read
+        lat_miss_write = self._lat_miss_write
+        select_pool = self._select_pool
+        scan = self._scan
         depth_acc = self._depth_acc
+        read_lat_acc = self._read_lat_acc
+        write_lat_acc = self._write_lat_acc
+        bus_counter = self._c_data_bus_cycles
+        sanitizer = self._sanitizer
+        window = self.WINDOW
+        drain_high = scheduler.drain_high
 
-        while incoming or reads or writes:
+        # One near-linear Timsort per epoch replaces a heap pop per request
+        # (producers emit almost-sorted arrivals; (arrival, seq) is unique).
+        if incoming:
+            incoming.sort()
+        cursor = 0
+        backlog = len(incoming)
+
+        def admit(request: Request) -> None:
+            # Route into the pool and maintain its row census: count the
+            # (bank, row) key, and tally a hit when that bank currently
+            # holds the request's row open.
+            if request.is_write:
+                writes.append(request)
+                index = write_index
+            else:
+                reads.append(request)
+                index = read_index
+            row_counts = index.row_counts
+            key = request.row_key
+            row_counts[key] = row_counts.get(key, 0) + 1
+            if open_rows[request.flat_bank] == request.row:
+                index.hits += 1
+
+        while cursor < backlog or reads or writes:
             if not reads and not writes:
                 # Idle: jump to the next arrival.
-                arrival, _seq, request = heappop(incoming)
-                (writes if request.is_write else reads).append(request)
-                horizon = arrival
+                entry = incoming[cursor]
+                cursor += 1
+                admit(entry[2])
+                horizon = entry[0]
             else:
                 horizon = queues.last_command_start + 1
             # Admit everything that has arrived by the current horizon.
-            while incoming and incoming[0][0] <= horizon:
-                _arrival, _seq, request = heappop(incoming)
-                (writes if request.is_write else reads).append(request)
+            while cursor < backlog and incoming[cursor][0] <= horizon:
+                admit(incoming[cursor][2])
+                cursor += 1
 
-            chosen, choice = choose(channel, scheduler, queues, horizon)
-            if chosen is None:
-                continue
-            plan, pool, pool_index = choice
-            # Late arrivals before the chosen command start could alter the
-            # decision; admit them and re-choose once.
-            if incoming and incoming[0][0] <= plan[0]:
-                until = plan[0]
-                while incoming and incoming[0][0] <= until:
-                    _arrival, _seq, request = heappop(incoming)
-                    (writes if request.is_write else reads).append(request)
-                chosen, choice = choose(channel, scheduler, queues, horizon)
-                if chosen is None:
+            # Pool selection fast path: steady non-drain state with reads
+            # pending and the write queue below the high watermark cannot
+            # transition (no side effects) and always picks reads.
+            if not scheduler.draining and reads and len(writes) < drain_high:
+                pool = reads
+            else:
+                pool = select_pool(scheduler, reads, writes)
+                if pool is None:
                     continue
-                plan, pool, pool_index = choice
+            pool_len = len(pool)
+            # Inline first-scan decision: same estimate policy as _scan
+            # (max(arrival, horizon, ready) + latency class) with the pool
+            # row census splitting the dominant steady state into an
+            # all-miss scan and a two-way hit/miss scan.
+            head = pool[0]
+            is_write_pool = head.is_write
+            if pool_len == 1:
+                chosen = head
+                pool_index = 0
+                earliest = head.arrival
+                if horizon > earliest:
+                    earliest = horizon
+                plan = plan_fn(
+                    head.rank, head.bank, head.row, is_write_pool, earliest
+                )
+            elif channel.closed_banks == 0:
+                if is_write_pool:
+                    lat_hit = lat_hit_write
+                    lat_miss = lat_miss_write
+                    index = write_index
+                else:
+                    lat_hit = lat_hit_read
+                    lat_miss = lat_miss_read
+                    index = read_index
+                if index.hits == 0:
+                    # All candidates are equal-latency row misses, so the
+                    # estimate ordering is the earliest-start ordering: the
+                    # oldest candidate startable at the horizon wins
+                    # outright, else the oldest with the smallest start
+                    # (strict < keeps the first-scanned-wins tie-break).
+                    chosen = head
+                    pool_index = 0
+                    best_earliest = 1 << 62
+                    position = 0
+                    for request in pool:
+                        if position >= window:
+                            break
+                        arrival = request.arrival
+                        earliest = arrival if arrival > horizon else horizon
+                        ready = banks[request.flat_bank].ready_at
+                        if ready > earliest:
+                            earliest = ready
+                        if earliest <= horizon:
+                            chosen = request
+                            pool_index = position
+                            break
+                        if earliest < best_earliest:
+                            chosen = request
+                            pool_index = position
+                            best_earliest = earliest
+                        position += 1
+                else:
+                    # Hit-or-miss two-way scan; a ready row hit (estimate
+                    # at the floor) is unbeatable, so stop there.
+                    floor = horizon + lat_hit
+                    chosen = head
+                    pool_index = 0
+                    best_estimate = 1 << 62
+                    position = 0
+                    for request in pool:
+                        if position >= window:
+                            break
+                        arrival = request.arrival
+                        earliest = arrival if arrival > horizon else horizon
+                        bank = banks[request.flat_bank]
+                        ready = bank.ready_at
+                        if ready > earliest:
+                            earliest = ready
+                        estimate = earliest + (
+                            lat_hit if bank.open_row == request.row else lat_miss
+                        )
+                        if estimate < best_estimate:
+                            chosen = request
+                            pool_index = position
+                            best_estimate = estimate
+                            if estimate <= floor:
+                                break
+                        position += 1
+                earliest = chosen.arrival
+                if horizon > earliest:
+                    earliest = horizon
+                plan = plan_fn(
+                    chosen.rank, chosen.bank, chosen.row, is_write_pool, earliest
+                )
+            else:
+                # Warm-up (some banks still closed): three-way latency
+                # classes — take the general scan.
+                chosen, plan, pool_index = scan(
+                    channel, pool,
+                    write_index if pool is writes else read_index,
+                    horizon,
+                )
+            # Late arrivals before the chosen command start could alter the
+            # decision; admit them and re-choose once. The rescan is
+            # skipped when it provably cannot differ: same pool object and
+            # either the candidate window was already full (appends land
+            # beyond it) or nothing was admitted into this pool.
+            if cursor < backlog and incoming[cursor][0] <= plan[0]:
+                until = plan[0]
+                while cursor < backlog and incoming[cursor][0] <= until:
+                    admit(incoming[cursor][2])
+                    cursor += 1
+                if not scheduler.draining and reads and len(writes) < drain_high:
+                    pool2 = reads
+                else:
+                    pool2 = select_pool(scheduler, reads, writes)
+                if pool2 is not pool or (
+                    pool_len < window and len(pool2) != pool_len
+                ):
+                    pool = pool2
+                    chosen, plan, pool_index = scan(
+                        channel, pool,
+                        write_index if pool is writes else read_index,
+                        horizon,
+                    )
 
             depth = len(reads) + len(writes)
             try:
                 depth_acc[depth] += 1
             except KeyError:
                 depth_acc[depth] = 1
-            channel.commit(chosen.rank, chosen.bank, chosen.row, chosen.is_write, plan)
+            fb = chosen.flat_bank
+            old_row = open_rows[fb]
+            new_row = chosen.row
+            channel.commit(chosen.rank, chosen.bank, new_row, chosen.is_write, plan)
+            if old_row != new_row:
+                # The bank's open row moved: re-base both pools' hit
+                # tallies — requests on the new row become hits, requests
+                # on the old row (none existed while it was closed) stop
+                # being hits.
+                base = fb << 40
+                key_new = base | new_row
+                for index in (read_index, write_index):
+                    row_counts = index.row_counts
+                    delta = row_counts.get(key_new, 0)
+                    if old_row >= 0:
+                        delta -= row_counts.get(base | old_row, 0)
+                    if delta:
+                        index.hits += delta
             chosen.completion = plan[2]
             queues.last_command_start = plan[0]
+            index = write_index if pool is writes else read_index
+            row_counts = index.row_counts
+            key = chosen.row_key
+            count = row_counts[key] - 1
+            if count:
+                row_counts[key] = count
+            else:
+                del row_counts[key]
+            # After the commit the chosen request's row is open in its
+            # bank, so its removal always decrements the hit tally.
+            index.hits -= 1
             if pool_index == 0:
                 pool.popleft()
             else:
                 del pool[pool_index]
-            self._record(chosen, plan)
-
-    def _admit(self, queues: _ChannelQueues, request: Request) -> None:
-        (queues.writes if request.is_write else queues.reads).append(request)
-
-    def _admit_until(self, queues: _ChannelQueues, horizon: int) -> None:
-        incoming = queues.incoming
-        reads = queues.reads
-        writes = queues.writes
-        heappop = heapq.heappop
-        while incoming and incoming[0][0] <= horizon:
-            _arrival, _seq, request = heappop(incoming)
-            (writes if request.is_write else reads).append(request)
+            # Latency accounting: tally value -> weight; record_telemetry
+            # flushes into both the stats and registry histograms (integer
+            # weights, so batching is bit-exact).
+            completion = plan[2]
+            latency = completion - chosen.arrival
+            acc = write_lat_acc if chosen.is_write else read_lat_acc
+            try:
+                acc[latency] += 1
+            except KeyError:
+                acc[latency] = 1
+            bus_counter.value += completion - plan[1]
+            if sanitizer is not None:
+                # Sampled mid-stream consistency check (every 64 decisions)
+                # so maintenance bugs surface near the offending commit.
+                self._san_tick = tick = (self._san_tick + 1) & 63
+                if tick == 0:
+                    sanitizer.check_scheduler_index(self)
+        del incoming[:]
 
     #: Scheduler candidate window: only the oldest WINDOW queued requests
     #: are considered per decision (real FR-FCFS pickers have bounded
     #: associative search too). Keeps each decision O(WINDOW).
     WINDOW = 16
 
-    def _choose(self, channel, scheduler, queues, horizon):
-        """Pick the request with the earliest achievable data start.
+    def _select_pool(self, scheduler, reads, writes):
+        """Drain-hysteresis pool selection (side effects preserved).
 
-        The key is estimated cheaply from bank state alone (the data-bus
-        shift is common to all candidates); the full plan is computed once,
-        for the winner. The candidate scan is the single hottest loop in
-        the simulator — it binds everything it touches to locals and reads
-        bank state directly rather than through method calls.
+        Inlined from FrFcfsScheduler.update_drain_mode: same transitions,
+        same telemetry on entering a drain burst. Runs once per decision
+        and again on a late-arrival re-choose — the burst accounting is
+        part of the bit-identical contract, so the re-choose path must
+        execute it even when the rescan itself is skipped.
         """
-        writes = queues.writes
-        reads = queues.reads
-        # Drain hysteresis inlined from FrFcfsScheduler.update_drain_mode
-        # (same transitions, same telemetry on entering a drain burst).
         write_depth = len(writes)
         draining = scheduler.draining
         was_draining = draining
@@ -398,90 +709,131 @@ class MemoryController:
         pool = writes if (draining and write_depth) else reads
         if not pool:
             pool = writes or reads
-        if not pool:
-            return None, None
+        return pool if pool else None
+
+    def _scan(self, channel, pool, index, horizon):
+        """Pick the pool request with the earliest achievable data start.
+
+        Returns ``(request, plan, pool_index)``. The estimate is computed
+        from bank state alone (the data-bus shift is common to all
+        candidates); the full plan is computed once, for the winner.
+
+        Fast paths, each provably equal to the windowed reference scan:
+
+        * **head**: no row hit in the pool (``index.hits == 0``) and no
+          closed bank on the channel means every candidate is a row miss
+          with the same latency, so the estimate ordering degenerates to
+          ``max(arrival, ready_at, horizon)`` — and when the pool head is
+          both arrived and bank-ready, it is the minimum with the oldest
+          (arrival, sequence), i.e. the scan's winner, without scanning.
+        * **ready-hit exit**: once the running best is a row hit starting
+          at the horizon (estimate == horizon + lat_hit) nothing later can
+          beat it (estimates are bounded below by exactly that) and later
+          ties lose on age, so the scan stops.
+        * **arrival prune**: pools are age-ordered, so once a candidate's
+          arrival reaches ``best_estimate - lat_hit`` its estimate (and
+          every later one's) is >= the best, with older tie-break — stop.
+
+        The scan itself exploits the age order too: (arrival, sequence)
+        is strictly increasing along the pool, so a later candidate can
+        never win a tie — the reference's composite tie-break reduces to
+        a single strict ``estimate < best_estimate`` compare.
+        """
         banks = channel.banks
+        head = pool[0]
+        is_write_pool = head.is_write
         if len(pool) == 1:
             # Single candidate: no scan, straight to the plan.
-            best = pool[0]
-            earliest = best.arrival
+            earliest = head.arrival
             if horizon > earliest:
                 earliest = horizon
             plan = channel.plan(
-                best.rank, best.bank, best.row, best.is_write, earliest
+                head.rank, head.bank, head.row, is_write_pool, earliest
             )
-            return best, (plan, pool, 0)
+            return head, plan, 0
+        if (
+            index.hits == 0
+            and channel.closed_banks == 0
+            and head.arrival <= horizon
+            and banks[head.flat_bank].ready_at <= horizon
+        ):
+            plan = channel.plan(
+                head.rank, head.bank, head.row, is_write_pool, horizon
+            )
+            return head, plan, 0
         window = self.WINDOW
-        lat_hit_read = self._lat_hit_read
-        lat_hit_write = self._lat_hit_write
-        lat_closed_read = self._lat_closed_read
-        lat_closed_write = self._lat_closed_write
-        lat_miss_read = self._lat_miss_read
-        lat_miss_write = self._lat_miss_write
+        if is_write_pool:
+            lat_hit = self._lat_hit_write
+            lat_closed = self._lat_closed_write
+            lat_miss = self._lat_miss_write
+        else:
+            lat_hit = self._lat_hit_read
+            lat_closed = self._lat_closed_read
+            lat_miss = self._lat_miss_read
+        floor = horizon + lat_hit
         best = None
         best_index = -1
-        best_estimate = best_arrival = best_sequence = 0
-        index = 0
-        for request in pool:
-            if index >= window:
-                break
-            bank = banks[request.flat_bank]
-            arrival = request.arrival
-            earliest = arrival if arrival > horizon else horizon
-            ready = bank.ready_at
-            if ready > earliest:
-                earliest = ready
-            open_row = bank.open_row
-            is_write = request.is_write
-            if open_row is None:
-                latency = lat_closed_write if is_write else lat_closed_read
-            elif open_row == request.row:
-                latency = lat_hit_write if is_write else lat_hit_read
-            else:
-                latency = lat_miss_write if is_write else lat_miss_read
-            estimate = earliest + latency
-            if (
-                best is None
-                or estimate < best_estimate
-                or (
-                    estimate == best_estimate
-                    and (
-                        arrival < best_arrival
-                        or (
-                            arrival == best_arrival
-                            and request.sequence < best_sequence
-                        )
-                    )
+        best_estimate = 1 << 62
+        prune = 1 << 62
+        position = 0
+        if channel.closed_banks == 0:
+            # Every bank holds an open row: candidates are hit or miss,
+            # never closed — one compare decides the latency class.
+            for request in pool:
+                if position >= window:
+                    break
+                arrival = request.arrival
+                if arrival >= prune:
+                    break
+                bank = banks[request.flat_bank]
+                earliest = arrival if arrival > horizon else horizon
+                ready = bank.ready_at
+                if ready > earliest:
+                    earliest = ready
+                estimate = earliest + (
+                    lat_hit if bank.open_row == request.row else lat_miss
                 )
-            ):
-                best = request
-                best_index = index
-                best_estimate = estimate
-                best_arrival = arrival
-                best_sequence = request.sequence
-            index += 1
+                if estimate < best_estimate:
+                    best = request
+                    best_index = position
+                    best_estimate = estimate
+                    if estimate <= floor:
+                        break
+                    prune = estimate - lat_hit
+                position += 1
+        else:
+            for request in pool:
+                if position >= window:
+                    break
+                arrival = request.arrival
+                if arrival >= prune:
+                    break
+                bank = banks[request.flat_bank]
+                earliest = arrival if arrival > horizon else horizon
+                ready = bank.ready_at
+                if ready > earliest:
+                    earliest = ready
+                open_row = bank.open_row
+                if open_row is None:
+                    latency = lat_closed
+                elif open_row == request.row:
+                    latency = lat_hit
+                else:
+                    latency = lat_miss
+                estimate = earliest + latency
+                if estimate < best_estimate:
+                    best = request
+                    best_index = position
+                    best_estimate = estimate
+                    if estimate <= floor:
+                        break
+                    prune = estimate - lat_hit
+                position += 1
         earliest = best.arrival
         if horizon > earliest:
             earliest = horizon
-        plan = channel.plan(best.rank, best.bank, best.row, best.is_write, earliest)
-        return best, (plan, pool, best_index)
-
-    def _record(self, request: Request, plan) -> None:
-        _start, data_start, completion = plan
-        latency = completion - request.arrival
-        if request.is_write:
-            self._h_write_latency.record(latency)
-            acc = self._write_lat_acc
-        else:
-            self._h_read_latency.record(latency)
-            acc = self._read_lat_acc
-        try:
-            acc[latency] += 1
-        except KeyError:
-            acc[latency] = 1
-        # Always-positive increment: bump the slot directly, skipping the
-        # Counter.add sign check on the per-request path.
-        self._c_data_bus_cycles.value += completion - data_start
+        plan = channel.plan(best.rank, best.bank, best.row, is_write_pool, earliest)
+        return best, plan, best_index
 
     # ------------------------------------------------------------------
 
@@ -524,14 +876,19 @@ class MemoryController:
         synced[0] = row_hits
         synced[1] = row_misses
         # Flush the deferred histogram accumulators (weight-batched; all
-        # integer observations, so batching is bit-exact).
-        for acc, histogram in (
-            (self._depth_acc, self._t_queue_depth),
-            (self._read_lat_acc, self._t_read_latency),
-            (self._write_lat_acc, self._t_write_latency),
+        # integer observations, so batching is bit-exact). The latency
+        # accumulators feed both the per-controller stats histograms and
+        # the telemetry registry.
+        for value, weight in self._depth_acc.items():
+            self._t_queue_depth.record(value, weight)
+        self._depth_acc.clear()
+        for acc, histograms in (
+            (self._read_lat_acc, (self._t_read_latency, self._h_read_latency)),
+            (self._write_lat_acc, (self._t_write_latency, self._h_write_latency)),
         ):
             for value, weight in acc.items():
-                histogram.record(value, weight)
+                for histogram in histograms:
+                    histogram.record(value, weight)
             acc.clear()
         registry = get_registry()
         last = self.last_completion

@@ -48,6 +48,24 @@ from repro.util.units import HOURS_PER_YEAR
 #: Failure-count buckets for the per-shard failure histogram.
 SHARD_FAILURE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Total per-chip fault rate (faults per chip-hour): Table I FIT rates
+#: summed, FIT = failures per 1e9 device-hours. Hoisted to module scope so
+#: the per-shard fast path does not re-reduce FAULT_MODES on every call;
+#: the expression (and therefore float-op order) matches the old inline
+#: ``sum(mode.fit for mode in FAULT_MODES) * 1e-9`` exactly.
+_FIT_RATE = sum(mode.fit for mode in FAULT_MODES) * 1e-9
+
+#: Fraction of fault arrivals that span more than one bit (the failures a
+#: SECDED-class scheme cannot correct). Same float-op order as the old
+#: inline two-sum quotient, so sampled probabilities are unchanged.
+_LARGE_FRACTION = (
+    sum(m.fit for m in FAULT_MODES if m.is_large)
+    / sum(m.fit for m in FAULT_MODES)
+)
+
+#: Fault-mode sampling weights for multi-fault devices (proportional to FIT).
+_MODE_WEIGHTS = [mode.fit for mode in FAULT_MODES]
+
 
 @dataclass(frozen=True)
 class MonteCarloConfig:
@@ -149,8 +167,7 @@ def simulate_shard(
     and process-pool execution bit-identical.
     """
     shard_seed = derive_seed(config.seed, "mc-shard", shard_id)
-    lifetime = config.lifetime_hours
-    per_chip_rate = sum(mode.fit for mode in FAULT_MODES) * 1e-9 * lifetime
+    per_chip_rate = _FIT_RATE * config.lifetime_hours
     device_rate = per_chip_rate * scheme.chips
 
     rng_np = np.random.default_rng(shard_seed)
@@ -159,25 +176,20 @@ def simulate_shard(
     failures = 0
     single_fault_devices = int(np.count_nonzero(counts == 1))
     if not scheme.chip_correcting and single_fault_devices:
-        large_fraction = (
-            sum(m.fit for m in FAULT_MODES if m.is_large)
-            / sum(m.fit for m in FAULT_MODES)
-        )
         failures += int(
-            rng_np.binomial(single_fault_devices, large_fraction)
+            rng_np.binomial(single_fault_devices, _LARGE_FRACTION)
         )
     # Chip-correcting schemes survive any single fault by construction.
 
     multi_indices = np.flatnonzero(counts >= 2)
     rng = DeterministicRng(shard_seed)
-    mode_weights = [mode.fit for mode in FAULT_MODES]
     for device_index in multi_indices:
         count = int(counts[device_index])
         device_rng = rng.fork("device", int(device_index))
         faults = []
         for _ in range(count):
             chip = device_rng.randint(0, scheme.chips - 1)
-            mode = device_rng.weighted_choice(FAULT_MODES, mode_weights)
+            mode = device_rng.weighted_choice(FAULT_MODES, _MODE_WEIGHTS)
             faults.append(_sample_fault(device_rng, chip, mode, config))
         if scheme.device_fails(faults):
             failures += 1

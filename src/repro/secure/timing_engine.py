@@ -184,6 +184,9 @@ class SecureTimingEngine:
         "_writeback_queue",
         "_draining_writebacks",
         "_in_writeback_path",
+        "_batch",
+        "_batch_blocking",
+        "_batching",
     )
 
     def __init__(
@@ -227,6 +230,13 @@ class SecureTimingEngine:
         self._writeback_queue = deque()
         self._draining_writebacks = False
         self._in_writeback_path = False
+        # Emission batch: while an expansion is in flight, emitted request
+        # specs buffer here and flush through ``enqueue_batch`` in one call
+        # (same order, same sequence numbers as one-by-one enqueues).
+        # ``_batch_blocking`` holds the batch indices that gate the read.
+        self._batch: List = []
+        self._batch_blocking: List[int] = []
+        self._batching = False
 
     # ------------------------------------------------------------------
 
@@ -272,18 +282,44 @@ class SecureTimingEngine:
         self, out: ExpandedAccess, line: int, when: int, category: str, core: int
     ) -> None:
         self._account(category, _READ)
-        out.blocking.append(
-            self.controller.enqueue(_READ, line, when, category, core)
-        )
+        if self._batching:
+            self._batch_blocking.append(len(self._batch))
+            self._batch.append((_READ, line, when, category, core))
+        else:
+            out.blocking.append(
+                self.controller.enqueue(_READ, line, when, category, core)
+            )
 
     def _emit_rmw_read(self, line: int, when: int, category: str, core: int) -> None:
         """A posted read (RMW fetch) that gates nothing."""
         self._account(category, _READ)
-        self.controller.enqueue(_READ, line, when, category, core)
+        if self._batching:
+            self._batch.append((_READ, line, when, category, core))
+        else:
+            self.controller.enqueue(_READ, line, when, category, core)
 
     def _emit_write(self, line: int, when: int, category: str, core: int) -> None:
         self._account(category, _WRITE)
-        self.controller.enqueue(_WRITE, line, when, category, core)
+        if self._batching:
+            self._batch.append((_WRITE, line, when, category, core))
+        else:
+            self.controller.enqueue(_WRITE, line, when, category, core)
+
+    def _flush_batch(self, out: Optional[ExpandedAccess]) -> None:
+        """Enqueue the buffered specs in emission order; route the gating
+        requests into ``out.blocking`` by their recorded batch indices."""
+        self._batching = False
+        batch = self._batch
+        if not batch:
+            del self._batch_blocking[:]
+            return
+        requests = self.controller.enqueue_batch(batch)
+        if out is not None:
+            blocking = out.blocking
+            for index in self._batch_blocking:
+                blocking.append(requests[index])
+        del batch[:]
+        del self._batch_blocking[:]
 
     def writeback(self, victim: Optional[int], when: int, core: int) -> None:
         """Handle an evicted dirty line of *any* region.
@@ -299,6 +335,9 @@ class SecureTimingEngine:
         if self._draining_writebacks:
             return
         self._draining_writebacks = True
+        top = not self._batching
+        if top:
+            self._batching = True
         try:
             while self._writeback_queue:
                 line = self._writeback_queue.popleft()
@@ -310,6 +349,8 @@ class SecureTimingEngine:
                     )
         finally:
             self._draining_writebacks = False
+            if top:
+                self._flush_batch(None)
 
     # Backwards-compatible internal alias used by the fetch/update paths.
     def _handle_writeback(self, victim: Optional[int], when: int, core: int) -> None:
@@ -364,14 +405,26 @@ class SecureTimingEngine:
     # ------------------------------------------------------------------
 
     def expand_read_miss(self, data_line: int, when: int, core: int) -> ExpandedAccess:
-        """Generate the memory traffic for one LLC read miss."""
+        """Generate the memory traffic for one LLC read miss.
+
+        Emissions (including any triggered writeback chains) buffer into
+        one ``enqueue_batch`` flush — same requests, order and sequence
+        numbers as serial enqueues, minus the per-call overhead.
+        """
         design = self.design
         out = ExpandedAccess()
-        self._emit_read(out, data_line, when, "data", core)
-        if design.encrypted:
-            self._fetch_counter_chain(out, data_line, when, core)
-            if design.mac_location is MacLocation.SEPARATE:
-                self._fetch_mac(out, data_line, when, core)
+        top = not self._batching
+        if top:
+            self._batching = True
+        try:
+            self._emit_read(out, data_line, when, "data", core)
+            if design.encrypted:
+                self._fetch_counter_chain(out, data_line, when, core)
+                if design.mac_location is MacLocation.SEPARATE:
+                    self._fetch_mac(out, data_line, when, core)
+        finally:
+            if top:
+                self._flush_batch(out)
         return out
 
     def _fetch_counter_chain(

@@ -32,7 +32,8 @@ from repro.workloads.profiles import WorkloadProfile, profile_by_name
 #: per-core traces for every design sharing a workload (designs outer,
 #: workloads inner), and trace synthesis is a measurable slice of each
 #: cell; generate_trace is a pure function of the key below, and traces
-#: are immutable (frozen records), so sharing one instance across
+#: are immutable (columnar numpy arrays that no consumer mutates), so
+#: sharing one instance across
 #: simulators is safe. Bounded by wholesale clearing — the access pattern
 #: is a small working set per experiment, not an LRU-worthy stream.
 _TRACE_MEMO: Dict[Tuple[object, ...], Trace] = {}

@@ -149,13 +149,12 @@ class SystemSimulator:
         reach steady-state occupancy without pre-loading the measured
         accesses themselves.
         """
-        from repro.cpu.trace import MemoryOp
-
         for trace in traces:
-            for record in trace:
-                self.engine.warm_data_access(
-                    record.line_address, record.op is MemoryOp.WRITE
-                )
+            warm = self.engine.warm_data_access
+            # Columnar iteration: plain (gap, is_write, line) ints — the
+            # warmup replay skips TraceRecord construction entirely.
+            for _gap, is_write, line in trace.iter_accesses():
+                warm(line, is_write != 0)
         self.hierarchy.llc.reset_stats()
         self.hierarchy.metadata_cache.reset_stats()
         self.hierarchy.reset_fill_stats()

@@ -407,3 +407,46 @@ class TestCacheReplaySanitizer:
             warm = run_suite([SYNERGY], ["mcf"], config)
             assert sanitizer.last_check == "cached_payload"
         assert cold.results[0].ipc == warm.results[0].ipc
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer: FR-FCFS scheduler row-hit index
+
+
+class TestSchedulerIndexSanitizer:
+    @staticmethod
+    def _loaded_controller():
+        from repro.dram.controller import MemoryController, RequestKind
+
+        controller = MemoryController(MemoryConfig())
+        state = 17
+        for index in range(600):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            kind = RequestKind.WRITE if index % 3 == 0 else RequestKind.READ
+            controller.enqueue(kind, state % (1 << 22), index * 2)
+        return controller
+
+    def test_consistent_index_passes(self):
+        with sanitized() as sanitizer:
+            controller = self._loaded_controller()
+            controller.process()
+        assert sanitizer.last_check == "scheduler_index"
+        assert sanitizer.checks > 0
+
+    def test_corrupted_hit_tally_is_caught(self):
+        with sanitized():
+            controller = self._loaded_controller()
+            controller.process()
+            # Desync the incremental census from ground truth; the next
+            # epoch-boundary audit must notice even with empty queues.
+            controller._queues[0].read_index.hits += 1
+            with pytest.raises(SanitizerError, match="hit tally"):
+                controller.process()
+
+    def test_corrupted_open_row_table_is_caught(self):
+        with sanitized():
+            controller = self._loaded_controller()
+            controller.process()
+            controller.channels[0].open_rows[0] += 1
+            with pytest.raises(SanitizerError, match="open-row table"):
+                controller.process()

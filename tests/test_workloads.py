@@ -3,7 +3,11 @@
 import pytest
 
 from repro.cpu.trace import MemoryOp
-from repro.workloads.generator import generate_trace, rate_mode_traces
+from repro.workloads.generator import (
+    generate_trace,
+    generate_trace_reference,
+    rate_mode_traces,
+)
 from repro.workloads.mixes import MIXES
 from repro.workloads.profiles import (
     ALL_WORKLOADS,
@@ -152,3 +156,72 @@ class TestGenerator:
             ranges.append((min(addresses), max(addresses)))
         for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
             assert hi1 < lo2
+
+
+class TestVectorizedEquivalence:
+    """The batched generator must match the scalar reference bit-for-bit.
+
+    ``generate_trace`` decodes a peeked raw Mersenne-Twister word block
+    with numpy; ``generate_trace_reference`` is the original per-record
+    loop. Any record-level divergence silently changes every downstream
+    golden, so equality is checked record-for-record here across the
+    profile space, including the decoder's special-cased regions (no-gap
+    traces, pure branches, the run-accelerated sequential walk, tiny
+    footprints where the page count collapses to one).
+    """
+
+    @staticmethod
+    def _assert_identical(profile, count, **kwargs):
+        reference = generate_trace_reference(profile, count, **kwargs)
+        batched = generate_trace(profile, count, **kwargs)
+        assert reference.name == batched.name
+        assert reference.gaps.tolist() == batched.gaps.tolist()
+        assert [bool(op) for op in reference.ops.tolist()] == [
+            bool(op) for op in batched.ops.tolist()
+        ]
+        assert reference.lines.tolist() == batched.lines.tolist()
+
+    @pytest.mark.parametrize(
+        "name", ["mcf", "lbm", "libquantum", "gobmk", "gcc", "pr-twi"]
+    )
+    def test_profiles_record_for_record(self, name):
+        self._assert_identical(profile_by_name(name), 2500)
+
+    def test_run_accelerated_walk(self):
+        # sequential >= 0.5 and count >= 2048 takes the run-length walk.
+        self._assert_identical(profile_by_name("lbm"), 4096)
+
+    def test_salts_cores_and_scaling(self):
+        profile = profile_by_name("zeusmp")
+        self._assert_identical(
+            profile, 1500, core_id=3, base_line=1 << 24,
+            seed_salt="warmup", scale_divisor=8,
+        )
+
+    def _edge(self, **kwargs):
+        base = dict(
+            name="edge", suite="edge", apki=10.0, write_fraction=0.3,
+            footprint_mib=16.0, sequential=0.3, hot=0.3,
+            page_locality=0.5, burst_length=2.0,
+        )
+        base.update(kwargs)
+        return WorkloadProfile(**base)
+
+    def test_edge_profiles(self):
+        edges = [
+            self._edge(apki=1500.0),        # mean gap rounds to zero
+            self._edge(write_fraction=0.0),
+            self._edge(write_fraction=1.0),
+            self._edge(footprint_mib=0.005),  # single-page footprint
+            self._edge(sequential=1.0, hot=0.0),
+            self._edge(sequential=0.0, hot=0.0, burst_length=4.0),
+            self._edge(sequential=0.0, hot=1.0),
+        ]
+        for profile in edges:
+            for count in (1, 7, 500):
+                self._assert_identical(profile, count)
+
+    def test_tiny_counts(self):
+        profile = profile_by_name("milc")
+        for count in (1, 2, 3, 5, 17):
+            self._assert_identical(profile, count)

@@ -17,22 +17,31 @@ PR perf snapshots — one combined JSON with the hot-path microbenchmarks
 and end-to-end grid timings, plus before/after speedups when a baseline
 timing file (``tools/run_experiments.py`` output) is supplied:
 
-    python tools/bench_snapshot.py --pr-out BENCH_PR3.json \\
-        --before before.json --after after.json --micro
+    python tools/bench_snapshot.py --pr-out BENCH_PR5.json \\
+        --before BENCH_PR3.json --micro      # prior PR snapshot as baseline
     python tools/bench_snapshot.py --pr-out BENCH_ci.json --micro \\
-        --scale quick --compare BENCH_PR3.json   # warn-only CI delta
+        --scale quick --compare BENCH_PR5.json \\
+        --fail-on-regress --fail-cases scheduler_choose_indexed,trace_generate
+
+``--before``/``--after`` accept any of: ``tools/run_experiments.py`` output,
+a previous combined PR snapshot (its ``end_to_end.after_s`` section), or a
+bare ``{name: seconds}`` map. ``--compare`` is warn-only by default;
+``--fail-on-regress`` turns micro regressions beyond the warn ratio into a
+non-zero exit, restricted to ``--fail-cases`` when given (other cases stay
+warn-only, since not every case is stable enough to gate CI on).
 """
 
 import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.parallel import EXECUTION_STATS, code_fingerprint
-from repro.perf.microbench import run_all
+from repro.perf.microbench import CASES
 from repro.telemetry import TELEMETRY_AGGREGATE
 
 DEFAULT_FIGURES = ["fig8", "fig11"]
@@ -71,19 +80,46 @@ def snapshot(name: str, scale: str, jobs: int, cache: bool) -> dict:
 
 
 def micro_section(repeats: int) -> dict:
-    """Run the hot-path microbenchmarks and package their timings."""
-    return {
-        result.name: result.to_payload() for result in run_all(repeats)
-    }
+    """Run the hot-path microbenchmarks and package their timings.
+
+    Each case runs in its own pristine interpreter (``python -m
+    repro.perf.microbench --case NAME``): timings taken inside this
+    process are contaminated by its import volume — modules loaded
+    before the measurement shift the allocator layout the vectorised
+    cases stream through, inflating their per-op time by tens of
+    percent. Isolation makes the numbers a property of the case, not of
+    whatever the harness imported first.
+    """
+    section: dict = {}
+    for name in sorted(CASES):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.perf.microbench",
+                "--case", name, "--repeats", str(repeats),
+            ],
+            check=True, capture_output=True, text=True,
+        )
+        section.update(json.loads(result.stdout))
+    return section
 
 
 def _experiment_seconds(timings: dict) -> dict:
-    """name -> seconds from a ``tools/run_experiments.py`` output file."""
-    return {
-        name: record["seconds"]
-        for name, record in timings.items()
-        if isinstance(record, dict) and "seconds" in record
-    }
+    """name -> seconds from any supported timing-file shape.
+
+    Accepts ``tools/run_experiments.py`` output (``{name: {"seconds": s}}``),
+    a combined PR snapshot from this tool (``end_to_end.after_s``), or a
+    bare ``{name: seconds}`` map — so a committed ``BENCH_PR<n>.json`` can
+    serve directly as the ``--before`` baseline of the next PR.
+    """
+    if timings.get("kind") == "pr_perf_snapshot":
+        timings = (timings.get("end_to_end") or {}).get("after_s") or {}
+    out = {}
+    for name, record in timings.items():
+        if isinstance(record, dict) and "seconds" in record:
+            out[name] = record["seconds"]
+        elif isinstance(record, (int, float)) and not isinstance(record, bool):
+            out[name] = record
+    return out
 
 
 def grid_timings(scale: str, jobs: int, cache: bool) -> dict:
@@ -151,32 +187,42 @@ def pr_snapshot(args) -> dict:
     return record
 
 
-def compare_report(current: dict, previous_path: str) -> None:
-    """Warn-only delta of micro timings vs a previous combined snapshot."""
+def compare_report(current: dict, previous_path: str) -> dict:
+    """Micro-timing delta vs a previous combined snapshot.
+
+    Prints the per-case delta and returns ``{name: ratio}`` for every case
+    slower than :data:`COMPARE_WARN_RATIO`; the caller decides whether the
+    regressions warn or fail (``--fail-on-regress``).
+    """
     try:
         with open(previous_path) as handle:
             previous = json.load(handle)
     except (OSError, ValueError) as error:
         print("compare: cannot read %s (%s)" % (previous_path, error))
-        return
+        return {}
     mine = current.get("micro") or {}
     theirs = previous.get("micro") or {}
     if not mine or not theirs:
         print("compare: no micro section to compare against %s" % previous_path)
-        return
-    print("micro delta vs %s (warn-only):" % previous_path)
+        return {}
+    regressions = {}
+    print("micro delta vs %s:" % previous_path)
     for name in sorted(mine):
         if name not in theirs:
-            print("  %-20s (new case)" % name)
+            print("  %-24s (new case)" % name)
             continue
         now = mine[name]["per_op_us"]
         was = theirs[name]["per_op_us"]
         ratio = now / was if was else float("inf")
+        slower = ratio > COMPARE_WARN_RATIO
+        if slower:
+            regressions[name] = ratio
         flag = "  WARN: slower than %.2fx" % COMPARE_WARN_RATIO
         print(
-            "  %-20s %8.3f -> %8.3f us/op (%.2fx)%s"
-            % (name, was, now, ratio, flag if ratio > COMPARE_WARN_RATIO else "")
+            "  %-24s %8.3f -> %8.3f us/op (%.2fx)%s"
+            % (name, was, now, ratio, flag if slower else "")
         )
+    return regressions
 
 
 def main() -> int:
@@ -228,7 +274,20 @@ def main() -> int:
         "--compare",
         default=None,
         metavar="FILE",
-        help="previous combined snapshot; print a warn-only micro delta",
+        help="previous combined snapshot; print a micro delta",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit non-zero when --compare finds a micro case slower than "
+        "the warn ratio (%.2fx)" % COMPARE_WARN_RATIO,
+    )
+    parser.add_argument(
+        "--fail-cases",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated micro cases --fail-on-regress gates on "
+        "(default: every case)",
     )
     args = parser.parse_args()
 
@@ -248,7 +307,26 @@ def main() -> int:
             )
         print("%s -> %s" % (summary, args.pr_out), flush=True)
         if args.compare:
-            compare_report(record, args.compare)
+            regressions = compare_report(record, args.compare)
+            if args.fail_on_regress:
+                gated = (
+                    set(args.fail_cases.split(","))
+                    if args.fail_cases
+                    else set(regressions)
+                )
+                failing = sorted(set(regressions) & gated)
+                if failing:
+                    print(
+                        "FAIL: micro regression beyond %.2fx in: %s"
+                        % (
+                            COMPARE_WARN_RATIO,
+                            ", ".join(
+                                "%s (%.2fx)" % (name, regressions[name])
+                                for name in failing
+                            ),
+                        )
+                    )
+                    return 1
         return 0
 
     names = (
