@@ -28,6 +28,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.hotpath import (
     AttrOutsideInitRule,
     MissingSlotsRule,
+    PerElementExtractionRule,
     TelemetryInLoopRule,
 )
 from repro.analysis.rules.hygiene import BroadExceptRule, ShadowedBuiltinRule
@@ -41,6 +42,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MissingSlotsRule(),
     AttrOutsideInitRule(),
     TelemetryInLoopRule(),
+    PerElementExtractionRule(),
     BroadExceptRule(),
     ShadowedBuiltinRule(),
 )

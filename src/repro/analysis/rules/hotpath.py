@@ -217,3 +217,87 @@ class TelemetryInLoopRule(Rule):
                     node,
                     f"{name}() called inside a loop body; bind it before the loop",
                 )
+
+
+#: ``Generator`` methods that return arrays: names assigned from e.g.
+#: ``rng.poisson(...)`` are treated as numpy arrays even though the call's
+#: dotted prefix is not ``np.``.
+_ARRAY_PRODUCER_METHODS = {
+    "poisson",
+    "binomial",
+    "integers",
+    "normal",
+    "choice",
+    "permutation",
+    "astype",
+}
+
+
+def _numpy_array_names(tree: ast.AST) -> Set[str]:
+    """Names assigned (anywhere in the file) from a numpy-producing call.
+
+    Purely syntactic: ``x = np.<anything>(...)`` / ``numpy.<...>(...)``,
+    or ``x = <obj>.<producer>(...)`` for the known array-returning
+    Generator/ndarray methods. False negatives are fine (the rule is a
+    tripwire, not a type checker); false positives are handled with a
+    ``lint-ok`` justification.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        name = dotted_name(node.value.func)
+        parts = name.split(".")
+        if not (
+            parts[0] in ("np", "numpy") or parts[-1] in _ARRAY_PRODUCER_METHODS
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+class PerElementExtractionRule(Rule):
+    rule_id = "P204"
+    title = "per-element scalar extraction from a numpy array in a loop"
+    rationale = (
+        "Pulling scalars out of a numpy array one element at a time "
+        "(.item()/.tolist() per iteration, int()/float() around a "
+        "subscript) pays the array-scalar boxing cost per event — the "
+        "exact overhead the columnar batches exist to avoid. Convert the "
+        "whole array once with .tolist() before the loop, or keep the "
+        "computation in the array domain."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        array_names = _numpy_array_names(ctx.tree)
+        for node in walk_loop_bodies(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ("item", "tolist"):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{func.attr}() inside a loop body; convert the array "
+                    "once before the loop",
+                )
+                continue
+            # int(arr[i]) / float(arr[i]) over a name bound from a numpy
+            # producer: per-element unboxing in the loop.
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("int", "float")
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Subscript)
+            ):
+                base = node.args[0].value
+                if isinstance(base, ast.Name) and base.id in array_names:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{func.id}({base.id}[...]) inside a loop body "
+                        "extracts numpy scalars per element; use "
+                        f"{base.id}.tolist() once before the loop",
+                    )

@@ -220,6 +220,124 @@ class Sanitizer:
                     )
 
     # ------------------------------------------------------------------
+    # Columnar secure timing plane (hooks: SecureTimingEngine
+    # expand_read_miss_deferred / flush_epoch)
+    # ------------------------------------------------------------------
+
+    def check_expansion_batch(
+        self,
+        engine: Any,
+        data_line: int,
+        when: int,
+        core: int,
+        base: int,
+        blocking: Sequence[int],
+    ) -> None:
+        """Spot-check one deferred read-miss expansion (first of each epoch).
+
+        The fused/deferred expansion must emit specs the scalar oracle
+        would: the first gating request is the data line itself, every
+        gating spec is a READ stamped with this miss's time and core, and
+        each metadata address matches an independent recomputation from
+        ``TimingMetadataMap`` (counter line, a prefix of the tree path,
+        MAC line). The counter line must be resident in the dedicated
+        metadata cache afterwards — the expansion just touched it."""
+        self._enter("expansion_batch")
+        from repro.dram.controller import RequestKind
+
+        batch = engine._batch
+        where = f"data_line={data_line:#x} when={when} base={base}"
+        if not blocking or blocking[0] != base:
+            self._fail(
+                f"expansion: blocking[0] is {blocking[0] if blocking else None}, "
+                f"expected batch base {base} (the data read) [{where}]"
+            )
+        if list(blocking) != sorted(set(blocking)) or blocking[-1] >= len(batch):
+            self._fail(
+                f"expansion: blocking indices {list(blocking)} not strictly "
+                f"increasing within the epoch batch of {len(batch)} [{where}]"
+            )
+        map_ = engine.map
+        design = engine.design
+        counter_line = map_.counter_line(data_line)
+        mac_line = map_.mac_line(data_line)
+        counter_ok = {counter_line}
+        counter_ok.update(map_.tree_path_from_counter(counter_line))
+        mac_ok = {mac_line}
+        mac_ok.update(map_.tree_path_from_mac(mac_line))
+        for index in blocking:
+            kind, line, at, category, who = batch[index]
+            if kind is not RequestKind.READ or at != when or who != core:
+                self._fail(
+                    f"expansion: gating spec {index} is ({kind}, {at}, core "
+                    f"{who}), expected a READ at {when} for core {core} [{where}]"
+                )
+            if category == "data":
+                if line != data_line:
+                    self._fail(
+                        f"expansion: data read targets {line:#x}, expected "
+                        f"{data_line:#x} [{where}]"
+                    )
+            elif category == "counter":
+                if line not in counter_ok:
+                    self._fail(
+                        f"expansion: counter read {line:#x} is neither the "
+                        f"counter line {counter_line:#x} nor on its tree "
+                        f"path [{where}]"
+                    )
+            elif category == "mac":
+                if line not in mac_ok:
+                    self._fail(
+                        f"expansion: mac read {line:#x} is neither the MAC "
+                        f"line {mac_line:#x} nor on its MAC-tree path [{where}]"
+                    )
+        if design.encrypted and not engine.hierarchy.metadata_cache.probe(
+            counter_line
+        ):
+            self._fail(
+                f"expansion: counter line {counter_line:#x} absent from the "
+                f"dedicated metadata cache right after its access [{where}]"
+            )
+
+    def check_epoch_flush(
+        self, specs: Sequence[Tuple], requests: Sequence[Any]
+    ) -> None:
+        """The epoch flush must be a faithful 1:1 materialisation: one
+        request per buffered spec, same fields in the same order, with
+        consecutive sequence numbers — i.e. indistinguishable from the
+        scalar engine enqueuing each spec the moment it was emitted."""
+        self._enter("epoch_flush")
+        if len(specs) != len(requests):
+            self._fail(
+                f"epoch flush: {len(specs)} buffered specs materialised "
+                f"{len(requests)} requests"
+            )
+        if not requests:
+            return
+        first_sequence = requests[0].sequence
+        for offset, (spec, request) in enumerate(zip(specs, requests)):
+            kind, line, arrival, category, core = spec
+            if (
+                request.kind is not kind
+                or request.line_address != line
+                or request.arrival != arrival
+                or request.category != category
+                or request.core != core
+            ):
+                self._fail(
+                    f"epoch flush: request {offset} is ({request.kind}, "
+                    f"{request.line_address:#x}, {request.arrival}, "
+                    f"{request.category}, core {request.core}), spec said "
+                    f"({kind}, {line:#x}, {arrival}, {category}, core {core})"
+                )
+            if request.sequence != first_sequence + offset:
+                self._fail(
+                    f"epoch flush: request {offset} has sequence "
+                    f"{request.sequence}, expected consecutive "
+                    f"{first_sequence + offset}"
+                )
+
+    # ------------------------------------------------------------------
     # RAID-3 reconstruction (hooks: ReconstructionEngine.correct_*)
     # ------------------------------------------------------------------
 

@@ -39,7 +39,10 @@ HIT = CacheAccessResult(hit=True)
 MISS_CLEAN = CacheAccessResult(hit=False)
 
 #: Sentinel distinguishing "tag absent" from a clean (False) dirty bit.
+#: Public under ``ABSENT`` for fused hot paths that inline the dict probe
+#: (the secure engine's columnar expansion, the system's warmup replay).
 _ABSENT = object()
+ABSENT = _ABSENT
 
 
 class SetAssociativeCache:

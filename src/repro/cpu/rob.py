@@ -21,7 +21,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
 
 from repro.cpu.trace import Trace
 
@@ -61,8 +63,12 @@ class CoreModel:
         "params",
         "_read_fn",
         "_write_fn",
-        "_records",
-        "_pending_record",
+        "_ops",
+        "_lines",
+        "_terms",
+        "_mem_pos",
+        "_cursor",
+        "_count",
         "fetch_time",
         "retire_time",
         "fetched_count",
@@ -84,10 +90,28 @@ class CoreModel:
         self.params = params
         self._read_fn = read_fn
         self._write_fn = write_fn
-        # Columnar iteration: (gap, is_write, line) int tuples straight
-        # from the trace arrays — no per-record object construction.
-        self._records: Iterator[Tuple[int, int, int]] = trace.iter_accesses()
-        self._pending_record: Optional[Tuple[int, int, int]] = None
+        # Columnar batch precomputation: everything :meth:`advance` would
+        # derive per record comes out of one vectorised pass over the
+        # trace columns. ``terms[i]`` is the fetch-clock increment
+        # ``(gap + 1) / width`` — float64 division, the identical IEEE op
+        # the scalar expression performs, so the sequential adds in
+        # ``advance`` produce bit-identical fetch times. ``mem_pos[i]``
+        # is the instruction position of record i's memory op
+        # (``cumsum(gap + 1) - 1``, matching the running fetched_count).
+        gaps = np.asarray(trace.gaps, dtype=np.int64)
+        instructions = gaps + 1
+        self._terms: List[float] = (instructions / params.width).tolist()
+        self._mem_pos: List[int] = (np.cumsum(instructions) - 1).tolist()
+        self._ops: List[int] = (
+            trace.ops.tolist() if hasattr(trace.ops, "tolist")
+            else list(trace.ops)
+        )
+        self._lines: List[int] = (
+            trace.lines.tolist() if hasattr(trace.lines, "tolist")
+            else list(trace.lines)
+        )
+        self._cursor = 0
+        self._count = len(self._ops)
 
         self.fetch_time = 0.0
         self.retire_time = 0.0
@@ -107,45 +131,40 @@ class CoreModel:
         Returns the blocking handle, or None when the core has fully
         retired its trace.
 
-        Hot-path note: fetch state lives in locals inside the loop and is
-        written back to the instance only at return points — ``_retire_until``
-        and the memory callbacks never read ``fetch_time``/``fetched_count``.
+        Hot-path note: this is the batch-advance stepper — per-record
+        work is three list indexings (precomputed term, memory position,
+        op) plus the memory callback. Fetch state lives in locals and is
+        written back to the instance only at blocking points; the memory
+        callbacks never read ``fetch_time``/``fetched_count``, and the
+        precomputed columns make the stepper branch-free between ROB
+        stalls. The arithmetic (one float add per record, ``max`` with
+        the retire clock at stalls) is the scalar model's, op for op.
         """
-        width = self.params.width
         rob = self.params.rob_size
         core_id = self.core_id
         read_fn = self._read_fn
         write_fn = self._write_fn
-        records = self._records
+        terms = self._terms
+        mem_pos = self._mem_pos
+        ops = self._ops
+        lines = self._lines
+        count = self._count
         retire_until = self._retire_until
         pending_append = self._pending_reads.append
         fetch_time = self.fetch_time
-        fetched_count = self.fetched_count
-        while True:
-            record = self._pending_record
-            if record is None:
-                record = next(records, None)
-                if record is None:
-                    # Trace exhausted: retire everything still in flight.
-                    self.fetch_time = fetch_time
-                    self.fetched_count = fetched_count
-                    blocked = retire_until(fetched_count)
-                    if blocked is not None:
-                        self._pending_record = None
-                        return blocked
-                    self.done = True
-                    return None
-            self._pending_record = record
-
-            gap, is_write, line_address = record
-            mem_position = fetched_count + gap  # the memory op
+        retired = self.retired_count
+        cursor = self._cursor
+        while cursor < count:
+            mem_position = mem_pos[cursor]
             needed_retired = mem_position + 1 - rob
-            if needed_retired > self.retired_count:
+            if needed_retired > retired:
                 self.fetch_time = fetch_time
-                self.fetched_count = fetched_count
+                self.fetched_count = mem_pos[cursor - 1] + 1 if cursor else 0
                 blocked = retire_until(needed_retired)
                 if blocked is not None:
+                    self._cursor = cursor
                     return blocked
+                retired = self.retired_count
                 # ROB was full: fetch resumes no earlier than the freeing
                 # retirement.
                 retire_time = self.retire_time
@@ -153,18 +172,22 @@ class CoreModel:
                     self.stall_cycles += retire_time - fetch_time
                     fetch_time = retire_time
 
-            fetch_time += (gap + 1) / width
-            fetched_count = mem_position + 1
-            if is_write:
-                self.fetch_time = fetch_time
-                self.fetched_count = fetched_count
-                write_fn(line_address, fetch_time, core_id)
+            fetch_time += terms[cursor]
+            if ops[cursor]:
+                write_fn(lines[cursor], fetch_time, core_id)
             else:
-                self.fetch_time = fetch_time
-                self.fetched_count = fetched_count
-                handle = read_fn(line_address, fetch_time, core_id)
+                handle = read_fn(lines[cursor], fetch_time, core_id)
                 pending_append((mem_position, handle))
-            self._pending_record = None
+            cursor += 1
+        # Trace exhausted: retire everything still in flight.
+        self._cursor = cursor
+        self.fetch_time = fetch_time
+        self.fetched_count = mem_pos[count - 1] + 1 if count else 0
+        blocked = retire_until(self.fetched_count)
+        if blocked is not None:
+            return blocked
+        self.done = True
+        return None
 
     # ------------------------------------------------------------------
 

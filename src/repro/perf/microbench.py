@@ -12,14 +12,18 @@ versions:
   (``BankIndexedPool`` add/choose/remove churn, no DRAM timing)
 * ``rob_advance``       — trace-driven core fetch/retire with resolved reads
 * ``miss_expansion``    — secure-engine metadata expansion of LLC misses
+  (the production epoch-deferred fused path; ``miss_expansion_batch`` is
+  the columnar numpy-batch driver, ``miss_expansion_reference`` the
+  retained scalar oracle they are measured against)
 * ``telemetry_record``  — counter/histogram recording through a registry
 * ``trace_generate``    — vectorised workload-trace synthesis (sphinx3, 50k)
 * ``trace_generate_reference`` — the retained scalar trace generator on the
   same profile/length, kept as the speedup baseline for ``trace_generate``
 
 Cases return their op count; the harness times them (best-of-N
-``perf_counter``) and reports microseconds per op. Consumed by the pytest
-wrappers in ``benchmarks/micro`` and by ``tools/bench_snapshot.py``.
+``perf_counter``, garbage collection suspended per round as ``timeit``
+does) and reports microseconds per op. Consumed by the pytest wrappers in
+``benchmarks/micro`` and by ``tools/bench_snapshot.py``.
 """
 
 from __future__ import annotations
@@ -130,20 +134,22 @@ def scheduler_choose_indexed() -> int:
 
 
 def rob_advance() -> int:
-    """Drive one core through a synthetic trace with instantly-resolved reads."""
-    from repro.cpu.rob import AccessHandle, CoreModel
-    from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+    """Drive one core through a synthetic trace with instantly-resolved reads.
 
-    stream = _addresses(30_000, 1 << 20, seed=41)
-    records = [
-        TraceRecord(
-            gap=(line % 7),
-            op=MemoryOp.READ if line % 4 else MemoryOp.WRITE,
-            line_address=line,
-        )
-        for line in stream
-    ]
-    trace = Trace(records, "microbench")
+    The trace is assembled columnarly (``Trace.from_arrays``) so the case
+    times the batch-advance stepper, not 30k ``TraceRecord`` constructions;
+    the stream (gap = line % 7, write when line % 4 == 0) matches the
+    record-based construction this case used before it was columnar.
+    """
+    import numpy as np
+
+    from repro.cpu.rob import AccessHandle, CoreModel
+    from repro.cpu.trace import Trace
+
+    lines = np.array(_addresses(30_000, 1 << 20, seed=41), dtype=np.int64)
+    trace = Trace.from_arrays(
+        lines % 7, (lines % 4 == 0).astype(np.int8), lines, "microbench"
+    )
 
     def read_fn(_line: int, cpu_time: float, _core: int) -> AccessHandle:
         return AccessHandle(cpu_time + 200.0)
@@ -154,11 +160,10 @@ def rob_advance() -> int:
     core = CoreModel(0, trace, read_fn, write_fn)
     while not core.done:
         core.advance()
-    return len(records)
+    return len(trace)
 
 
-def miss_expansion() -> int:
-    """Secure-engine metadata expansion (Synergy design) of LLC read misses."""
+def _make_expansion_engine():
     from repro.cache.hierarchy import CacheHierarchy
     from repro.dram.controller import MemoryController
     from repro.dram.timing import MemoryConfig
@@ -167,7 +172,60 @@ def miss_expansion() -> int:
 
     hierarchy = CacheHierarchy()
     controller = MemoryController(MemoryConfig())
-    engine = SecureTimingEngine(SYNERGY, hierarchy, controller, 1 << 24)
+    return SecureTimingEngine(SYNERGY, hierarchy, controller, 1 << 24)
+
+
+def miss_expansion() -> int:
+    """Secure-engine metadata expansion (Synergy) — the production path.
+
+    The epoch-deferred fused expansion with a flush every 64 misses,
+    mirroring how ``SystemSimulator`` drives the engine (expansions
+    buffer per epoch, one ``enqueue_batch`` flush at resolve)."""
+    engine = _make_expansion_engine()
+    engine.begin_deferred()
+    stream = _addresses(10_000, 1 << 22, seed=53)
+    expand = engine.expand_read_miss_deferred
+    flush = engine.flush_epoch
+    when = 0
+    pending = 0
+    for line in stream:
+        expand(line, when, 0)
+        when += 10
+        pending += 1
+        if pending == 64:
+            flush()
+            pending = 0
+    flush()
+    return len(stream)
+
+
+def miss_expansion_batch() -> int:
+    """Columnar batch expansion: numpy address pass + fused per-miss walk.
+
+    The ``secure.columnar.expand_read_misses`` driver over 1024-miss
+    batches — the upper bound the per-epoch path converges to as epochs
+    widen."""
+    from repro.secure.columnar import expand_read_misses
+
+    engine = _make_expansion_engine()
+    engine.begin_deferred()
+    stream = _addresses(10_000, 1 << 22, seed=53)
+    flush = engine.flush_epoch
+    when = 0
+    for start in range(0, len(stream), 1024):
+        chunk = stream[start : start + 1024]
+        expand_read_misses(
+            engine, chunk, whens=range(when, when + 10 * len(chunk), 10)
+        )
+        when += 10 * len(chunk)
+        flush()
+    return len(stream)
+
+
+def miss_expansion_reference() -> int:
+    """The retained scalar-oracle expansion on the same miss stream —
+    the baseline ``miss_expansion`` is measured against."""
+    engine = _make_expansion_engine()
     stream = _addresses(10_000, 1 << 22, seed=53)
     expand = engine.expand_read_miss
     when = 0
@@ -236,6 +294,8 @@ CASES: Dict[str, Callable[[], int]] = {
     "scheduler_choose_indexed": scheduler_choose_indexed,
     "rob_advance": rob_advance,
     "miss_expansion": miss_expansion,
+    "miss_expansion_batch": miss_expansion_batch,
+    "miss_expansion_reference": miss_expansion_reference,
     "telemetry_record": telemetry_record,
     "trace_generate": trace_generate,
     "trace_generate_reference": trace_generate_reference,
@@ -270,16 +330,35 @@ class MicroResult:
 
 
 def run_case(name: str, repeats: int = 3) -> MicroResult:
-    """Time one case, best of ``repeats`` rounds."""
+    """Time one case, best of ``repeats`` rounds.
+
+    Garbage collection is suspended around each timed round (the same
+    protocol ``timeit`` uses): the allocation-heavy cases otherwise spend
+    a third of their wall time in collector sweeps triggered at arbitrary
+    op boundaries, which measures the collection cadence rather than the
+    code under test. Collection runs between rounds so no round starts
+    with another round's garbage.
+    """
+    import gc
+
     case = CASES[name]
     best = None
     ops = 0
-    for _ in range(max(1, repeats)):
-        start = perf_counter()
-        ops = case()
-        elapsed = perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
+    was_enabled = gc.isenabled()
+    try:
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            gc.disable()
+            start = perf_counter()
+            ops = case()
+            elapsed = perf_counter() - start
+            if was_enabled:
+                gc.enable()
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if was_enabled:
+            gc.enable()
     return MicroResult(name, ops, best or 0.0)
 
 

@@ -26,12 +26,18 @@ the scrub-interval sweep share work.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.parallel import parallel_map, resolve_cache, resolve_jobs
+from repro.parallel import (
+    EXECUTION_STATS,
+    parallel_map,
+    resolve_cache,
+    resolve_jobs,
+)
 from repro.parallel.runcache import RunCache, cache_key
 from repro.reliability.faults import ChipGeometry, FaultInstance
 from repro.reliability.fitrates import FAULT_MODES, FaultGranularity, FaultMode
@@ -148,6 +154,25 @@ def simulate_device(
     return scheme.device_fails(sample_device_faults(rng, scheme, config))
 
 
+def _multi_fault_device_fails(
+    device_rng: DeterministicRng,
+    scheme: ProtectionScheme,
+    config: MonteCarloConfig,
+    count: int,
+) -> bool:
+    """Explicit predicate for a device with ``count`` (>= 2) faults.
+
+    Shared by the per-shard and multi-shard batched paths so the two stay
+    draw-for-draw identical.
+    """
+    faults = []
+    for _ in range(count):
+        chip = device_rng.randint(0, scheme.chips - 1)
+        mode = device_rng.weighted_choice(FAULT_MODES, _MODE_WEIGHTS)
+        faults.append(_sample_fault(device_rng, chip, mode, config))
+    return scheme.device_fails(faults)
+
+
 def simulate_shard(
     scheme: ProtectionScheme,
     config: MonteCarloConfig,
@@ -183,15 +208,12 @@ def simulate_shard(
 
     multi_indices = np.flatnonzero(counts >= 2)
     rng = DeterministicRng(shard_seed)
-    for device_index in multi_indices:
-        count = int(counts[device_index])
-        device_rng = rng.fork("device", int(device_index))
-        faults = []
-        for _ in range(count):
-            chip = device_rng.randint(0, scheme.chips - 1)
-            mode = device_rng.weighted_choice(FAULT_MODES, _MODE_WEIGHTS)
-            faults.append(_sample_fault(device_rng, chip, mode, config))
-        if scheme.device_fails(faults):
+    # One bulk conversion: the loop below sees plain Python ints.
+    for device_index, count in zip(
+        multi_indices.tolist(), counts[multi_indices].tolist()
+    ):
+        device_rng = rng.fork("device", device_index)
+        if _multi_fault_device_fails(device_rng, scheme, config, count):
             failures += 1
     registry = get_registry()
     registry.counter("mc.shards").inc()
@@ -199,6 +221,84 @@ def simulate_shard(
     registry.counter("mc.failures").inc(failures)
     registry.histogram("mc.shard_failures", SHARD_FAILURE_EDGES).record(failures)
     return failures
+
+
+def simulate_shards_batched(
+    scheme: ProtectionScheme,
+    config: MonteCarloConfig,
+    shards: List[Tuple[int, int]],
+) -> List[Tuple[int, dict]]:
+    """Multi-cell batched epoch mode: classify every shard in one pass.
+
+    The serial (``jobs == 1``) counterpart of fanning ``_shard_task`` over
+    a pool: instead of classifying shard populations one at a time, every
+    shard's Poisson fault counts are drawn up front and the 0/1/multi
+    device classification runs as a single numpy pass over the
+    concatenated population. Per-shard draw order is untouched — each
+    shard keeps its own ``(seed, shard_id)``-derived generator and draws
+    poisson-then-binomial from it, exactly as :func:`simulate_shard` does —
+    so failure counts and telemetry payloads are bit-identical to the
+    per-shard path, whatever the interleaving.
+    """
+    device_rate = _FIT_RATE * config.lifetime_hours * scheme.chips
+    generators = []
+    counts_per_shard = []
+    for shard_id, size in shards:
+        gen = np.random.default_rng(derive_seed(config.seed, "mc-shard", shard_id))
+        generators.append(gen)
+        counts_per_shard.append(gen.poisson(device_rate, size))
+
+    # One classification pass over the whole population: per-shard
+    # single-fault tallies via segmented reduction, multi-fault device
+    # coordinates via one flatnonzero over the concatenated counts.
+    all_counts = np.concatenate(counts_per_shard)
+    bounds = np.zeros(len(shards) + 1, dtype=np.int64)
+    np.cumsum([size for _shard_id, size in shards], out=bounds[1:])
+    ones_per_shard = np.add.reduceat(
+        (all_counts == 1).astype(np.int64), bounds[:-1]
+    )
+    multi_global = np.flatnonzero(all_counts >= 2)
+    multi_shard = np.searchsorted(bounds, multi_global, side="right") - 1
+    multi_local = multi_global - bounds[multi_shard]
+
+    # Bulk-convert the classification output once; the per-shard loop
+    # below sees plain Python ints (lint P204).
+    ones_list = ones_per_shard.tolist()
+    multi_by_shard: List[List[Tuple[int, int]]] = [[] for _shard in shards]
+    for shard_pos, local_index, count in zip(
+        multi_shard.tolist(),
+        multi_local.tolist(),
+        all_counts[multi_global].tolist(),
+    ):
+        multi_by_shard[shard_pos].append((local_index, count))
+
+    chip_correcting = scheme.chip_correcting
+    results: List[Tuple[int, dict]] = []
+    for position, (shard_id, size) in enumerate(shards):
+        shard_seed = derive_seed(config.seed, "mc-shard", shard_id)
+        with cell_scope(cell="mc:%s" % scheme.name, shard=shard_id) as registry:
+            failures = 0
+            single_fault_devices = ones_list[position]
+            if not chip_correcting and single_fault_devices:
+                failures += int(
+                    generators[position].binomial(
+                        single_fault_devices, _LARGE_FRACTION
+                    )
+                )
+            rng = DeterministicRng(shard_seed)
+            for device_index, count in multi_by_shard[position]:
+                device_rng = rng.fork("device", device_index)
+                if _multi_fault_device_fails(device_rng, scheme, config, count):
+                    failures += 1
+            registry.counter("mc.shards").inc()
+            registry.counter("mc.devices").inc(size)
+            registry.counter("mc.failures").inc(failures)
+            registry.histogram("mc.shard_failures", SHARD_FAILURE_EDGES).record(
+                failures
+            )
+            payload = registry.snapshot().to_payload()
+        results.append((failures, payload))
+    return results
 
 
 def _shard_task(task: Tuple) -> Tuple[int, dict]:
@@ -243,14 +343,27 @@ def simulate_failure_probability(
             return float(payload["probability"])
 
     shards = config.shards()
-    shard_results = parallel_map(
-        _shard_task,
-        [(scheme, config, shard_id, size) for shard_id, size in shards],
-        jobs=jobs,
-        labels=[
-            "%s/shard%d" % (label, shard_id) for shard_id, _size in shards
-        ],
-    )
+    if jobs <= 1 and len(shards) > 1:
+        # Serial route: the multi-cell batched epoch stepper classifies
+        # every shard in one numpy pass (bit-identical to the per-shard
+        # path — see simulate_shards_batched).
+        span_started = time.perf_counter()
+        shard_results = simulate_shards_batched(scheme, config, shards)
+        elapsed = time.perf_counter() - span_started
+        for shard_id, _size in shards:
+            EXECUTION_STATS.record_cell(
+                "%s/shard%d" % (label, shard_id), elapsed / len(shards)
+            )
+        EXECUTION_STATS.record_map(1, elapsed)
+    else:
+        shard_results = parallel_map(
+            _shard_task,
+            [(scheme, config, shard_id, size) for shard_id, size in shards],
+            jobs=jobs,
+            labels=[
+                "%s/shard%d" % (label, shard_id) for shard_id, _size in shards
+            ],
+        )
     failures = sum(result[0] for result in shard_results)
     # parallel_map returns in submission (= shard) order, and the merge is
     # commutative anyway: the aggregate is independent of worker count.

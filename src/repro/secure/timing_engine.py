@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.setassoc import ABSENT
 from repro.dram.controller import MemoryController, Request, RequestKind
 from repro.secure.designs import (
     CounterMode,
@@ -187,6 +189,12 @@ class SecureTimingEngine:
         "_batch",
         "_batch_blocking",
         "_batching",
+        "_deferred",
+        "_fast_expand",
+        "_fast_warm",
+        "_fast_writeback",
+        "_sanitizer",
+        "_san_epoch_checked",
     )
 
     def __init__(
@@ -237,6 +245,16 @@ class SecureTimingEngine:
         self._batch: List = []
         self._batch_blocking: List[int] = []
         self._batching = False
+        # Epoch-deferred mode (see begin_deferred): the batch persists
+        # across expansions and flushes once per resolve epoch.
+        self._deferred = False
+        self._fast_expand = None
+        self._fast_warm = None
+        self._fast_writeback = None
+        self._sanitizer = get_sanitizer()
+        # True means "no spot-check pending" — primed per epoch only when
+        # a sanitizer is attached, so the hot path pays one bool test.
+        self._san_epoch_checked = self._sanitizer is None
 
     # ------------------------------------------------------------------
 
@@ -357,6 +375,701 @@ class SecureTimingEngine:
         self.writeback(victim, when, core)
 
     # ------------------------------------------------------------------
+    # Epoch-deferred emission mode (the columnar timing plane)
+    # ------------------------------------------------------------------
+
+    @property
+    def deferred(self) -> bool:
+        """Whether the engine is in epoch-deferred emission mode."""
+        return self._deferred
+
+    @property
+    def fast_expand(self):
+        """The fused per-miss expansion, or None outside the fast-path
+        boundary (MAC-tree designs, cached MACs — the scalar oracle)."""
+        return self._fast_expand
+
+    @property
+    def fast_warm(self):
+        """The fused warm-metadata walk, or None outside the fast-path
+        boundary (same boundary as :attr:`fast_expand`)."""
+        return self._fast_warm
+
+    @property
+    def fast_writeback(self):
+        """The fused writeback drain, or None outside the fast-path
+        boundary (same boundary as :attr:`fast_expand`)."""
+        return self._fast_writeback
+
+    def begin_deferred(self) -> None:
+        """Enter epoch-deferred emission mode.
+
+        Emissions stop flushing per expansion and instead buffer into one
+        per-epoch spec batch that :meth:`flush_epoch` enqueues in a single
+        ``enqueue_batch`` call at the resolve boundary. The engine is the
+        only request producer and the batch preserves emission order, so
+        request content, arbitration order and sequence numbers are
+        identical to the scalar engine's immediate enqueues — blocking
+        requests are returned as batch indices because their completions
+        are only read after the controller's next ``process``.
+        """
+        self._deferred = True
+        self._batching = True
+        if self._fast_expand is None and (
+            self.design.tree_kind is not TreeKind.MAC_TREE
+            and not self.design.macs_cached
+        ):
+            # Order matters: the expansion closure binds the fused
+            # writeback drain for its spill victims.
+            self._fast_writeback = self._build_fast_writeback()
+            self._fast_expand = self._build_fast_expand()
+            self._fast_warm = self._build_fast_warm()
+
+    def expand_read_miss_deferred(
+        self, data_line: int, when: int, core: int
+    ) -> List[int]:
+        """Deferred-mode read-miss expansion; returns epoch-batch indices.
+
+        The indices resolve against the request list returned by the next
+        :meth:`flush_epoch`; index 0 is always the data line itself (the
+        ``ExpandedAccess.blocking[0]`` invariant, preserved for
+        speculative designs).
+        """
+        if self._san_epoch_checked:
+            fast = self._fast_expand
+            if fast is not None:
+                return fast(data_line, when, core, -1, -1)
+            return self._expand_deferred_generic(data_line, when, core)
+        # Sampled sanitizer spot-check: first expansion of each epoch.
+        self._san_epoch_checked = True
+        base = len(self._batch)
+        fast = self._fast_expand
+        if fast is not None:
+            blocking = fast(data_line, when, core, -1, -1)
+        else:
+            blocking = self._expand_deferred_generic(data_line, when, core)
+        self._sanitizer.check_expansion_batch(
+            self, data_line, when, core, base, blocking
+        )
+        return blocking
+
+    def _expand_deferred_generic(
+        self, data_line: int, when: int, core: int
+    ) -> List[int]:
+        """Scalar-oracle fallback inside deferred mode.
+
+        Runs the verbatim scalar expansion; because ``_batching`` stays
+        set, its emissions buffer into the epoch batch and the per-call
+        flush is skipped. ``_emit_read`` recorded the absolute batch
+        indices of the gating requests.
+        """
+        self.expand_read_miss(data_line, when, core)
+        blocking = list(self._batch_blocking)
+        del self._batch_blocking[:]
+        return blocking
+
+    def flush_epoch(self) -> List[Request]:
+        """Enqueue the buffered epoch batch; returns the request list.
+
+        Called by the system simulator at each resolve boundary, before
+        ``controller.process``. Sequence numbers are assigned in batch
+        order — identical to the scalar engine's serial enqueues.
+        """
+        batch = self._batch
+        if not batch:
+            return []
+        sanitizer = self._sanitizer
+        if sanitizer is None:
+            requests = self.controller.enqueue_batch(batch)
+            del batch[:]
+            return requests
+        specs = list(batch)
+        requests = self.controller.enqueue_batch(batch)
+        sanitizer.check_epoch_flush(specs, requests)
+        self._san_epoch_checked = False
+        del batch[:]
+        return requests
+
+    def _build_fast_expand(self):
+        """Build the fused read-miss expansion closure.
+
+        One closure call replaces the scalar path's ~10 frames per miss:
+        the dedicated/LLC dict probes of ``CacheHierarchy.access_metadata``
+        and ``SetAssociativeCache.access`` are inlined (including the
+        pinned ``llc_result.writeback_address or spill_writeback`` quirk),
+        accounting counters bind lazily through the same
+        ``_account_counters`` table as the scalar path, and emissions
+        append straight to the epoch batch. Writeback chains — the
+        "interesting minority" — still route through the scalar
+        ``writeback`` drain at exactly the point the scalar path would.
+
+        Only built for designs whose read walk is data + Bonsai counter
+        chain + optional uncached MAC; MAC-tree/cached-MAC designs keep
+        the scalar oracle. Callers may pass precomputed ``counter_line``/
+        ``mac_line`` (from the columnar numpy pass); -1 means compute.
+        """
+        design = self.design
+        map_ = self.map
+        hierarchy = self.hierarchy
+        md = hierarchy.metadata_cache
+        md_sets = md._sets
+        md_mask = md._set_mask
+        md_shift = md._set_shift
+        md_assoc = md.associativity
+        llc = hierarchy.llc
+        llc_sets = llc._sets
+        llc_mask = llc._set_mask
+        llc_shift = llc._set_shift
+        llc_assoc = llc.associativity
+        llc_fill = llc.fill
+        counter_base = map_.counter_base
+        counter_coverage = map_.counter_coverage
+        mac_base = map_.mac_base
+        encrypted = design.encrypted
+        counters_in_llc = design.counters_in_llc
+        separate_mac = design.mac_location is MacLocation.SEPARATE
+        macs_in_llc = design.macs_in_llc
+        # Tree geometry as (base, clamp) pairs: the walk computes each
+        # level's address as it descends instead of materialising the full
+        # memoised path — break-on-hit means most of a full path is wasted
+        # work, and at large footprints the memo never hits anyway.
+        tree_levels = tuple(
+            (base, size - 1)
+            for base, size in zip(map_.tree_level_bases, map_.tree_level_sizes)
+        )
+        arity = TREE_ARITY
+        batch = self._batch
+        batch_append = batch.append
+        handle_writeback = self._fast_writeback or self.writeback
+        counter_hits = self._c_counter_hits
+        stats_counter = self.stats.counter
+        account = self._account_counters
+        absent = ABSENT
+        read = _READ
+        c_data = c_counter = c_mac = None
+
+        def bind(category: str):
+            # Lazy bind through the scalar path's table so a fused run
+            # creates exactly the counters a scalar run would.
+            key = (False, category, read)
+            counter = account.get(key)
+            if counter is None:
+                counter = stats_counter("demand_%s_read" % category)
+                account[key] = counter
+            return counter
+
+        def miss_probe(line, ways, tag, use_llc):
+            # Continuation after the dedicated probe popped ABSENT:
+            # finish the dedicated fill, then the optional LLC layer.
+            # Returns (hit, writeback) exactly as access_metadata would.
+            md.misses += 1
+            dedicated_wb = None
+            if len(ways) >= md_assoc:
+                victim_tag = next(iter(ways))
+                victim_dirty = ways.pop(victim_tag)
+                md.evictions += 1
+                if victim_dirty:
+                    md.dirty_evictions += 1
+                    dedicated_wb = (victim_tag << md_shift) | (line & md_mask)
+            ways[tag] = False
+            if not use_llc:
+                return False, dedicated_wb
+            llc_ways = llc_sets[line & llc_mask]
+            llc_tag = line >> llc_shift
+            prev = llc_ways.pop(llc_tag, absent)
+            if prev is not absent:
+                llc.hits += 1
+                llc_ways[llc_tag] = prev
+                if dedicated_wb is None:
+                    return True, None
+                return True, llc_fill(dedicated_wb, True)
+            llc.misses += 1
+            llc_wb = None
+            if len(llc_ways) >= llc_assoc:
+                victim_tag = next(iter(llc_ways))
+                victim_dirty = llc_ways.pop(victim_tag)
+                llc.evictions += 1
+                if victim_dirty:
+                    llc.dirty_evictions += 1
+                    llc_wb = (victim_tag << llc_shift) | (line & llc_mask)
+            llc_ways[llc_tag] = False
+            hierarchy.metadata_llc_fills += 1
+            spill = None
+            if dedicated_wb is not None:
+                spill = llc_fill(dedicated_wb, True)
+            # Pinned quirk: `or`, not `is None` — a dirty LLC victim at
+            # line 0 defers to the spill (dropped when there is none),
+            # exactly as access_metadata computes its writeback.
+            return False, llc_wb or spill
+
+        def expand_fast(data_line, when, core, counter_line, mac_line):
+            nonlocal c_data, c_counter, c_mac
+            if c_data is None:
+                c_data = bind("data")
+            c_data.value += 1
+            blocking = [len(batch)]
+            batch_append((read, data_line, when, "data", core))
+            if encrypted:
+                if counter_line < 0:
+                    counter_line = counter_base + data_line // counter_coverage
+                ways = md_sets[counter_line & md_mask]
+                tag = counter_line >> md_shift
+                prev = ways.pop(tag, absent)
+                if prev is not absent:
+                    md.hits += 1
+                    ways[tag] = prev
+                    counter_hits.value += 1
+                    self._n_counter_hits += 1
+                else:
+                    hit, wb = miss_probe(
+                        counter_line, ways, tag, counters_in_llc
+                    )
+                    if wb is not None:
+                        handle_writeback(wb, when, core)
+                    if hit:
+                        counter_hits.value += 1
+                        self._n_counter_hits += 1
+                    else:
+                        if c_counter is None:
+                            c_counter = bind("counter")
+                        c_counter.value += 1
+                        self._n_metadata_accesses += 1
+                        blocking.append(len(batch))
+                        batch_append((read, counter_line, when, "counter", core))
+                        # Bonsai walk to the cached trust anchor (every
+                        # encrypted fast-path design is Bonsai). Same
+                        # per-level arithmetic as _tree_path, one level
+                        # at a time.
+                        depth = 0
+                        index = counter_line - counter_base
+                        for level_base, level_cap in tree_levels:
+                            index //= arity
+                            tree_line = level_base + (
+                                index if index < level_cap else level_cap
+                            )
+                            tree_ways = md_sets[tree_line & md_mask]
+                            tree_tag = tree_line >> md_shift
+                            tree_prev = tree_ways.pop(tree_tag, absent)
+                            if tree_prev is not absent:
+                                md.hits += 1
+                                tree_ways[tree_tag] = tree_prev
+                                break
+                            hit, wb = miss_probe(
+                                tree_line, tree_ways, tree_tag, counters_in_llc
+                            )
+                            if wb is not None:
+                                handle_writeback(wb, when, core)
+                            if hit:
+                                break
+                            c_counter.value += 1
+                            self._n_metadata_accesses += 1
+                            blocking.append(len(batch))
+                            batch_append(
+                                (read, tree_line, when, "counter", core)
+                            )
+                            depth += 1
+                        acc = self._tree_depth_acc
+                        try:
+                            acc[depth] += 1
+                        except KeyError:
+                            acc[depth] = 1
+                if separate_mac:
+                    if mac_line < 0:
+                        mac_line = mac_base + data_line // MAC_COVERAGE
+                    if c_mac is None:
+                        c_mac = bind("mac")
+                    c_mac.value += 1
+                    self._n_metadata_accesses += 1
+                    blocking.append(len(batch))
+                    batch_append((read, mac_line, when, "mac", core))
+                    if macs_in_llc:
+                        wb = llc_fill(mac_line)
+                        if wb is not None:
+                            handle_writeback(wb, when, core)
+            return blocking
+
+        return expand_fast
+
+    def _build_fast_writeback(self):
+        """Build the fused writeback drain (fast-path designs only).
+
+        Replays :meth:`writeback`'s iterative chain drain with the
+        write-side metadata walk inlined: the data write, the counter-line
+        RMW probe, the full-path Bonsai dirty walk (every level updates —
+        no break-on-hit on the write side), the uncached-MAC write and the
+        parity write, all appending straight to the epoch batch. Cache
+        probes perform exactly ``access_metadata(..., is_write=True)``'s
+        transitions and stat bumps, including the pinned
+        ``llc_wb or spill`` writeback quirk; chained victims re-enter the
+        same FIFO queue the scalar drain uses. Accounting counters bind
+        lazily through ``_account_counters`` at the same first-use points
+        as the scalar path, so stat-group ordering is preserved. Only
+        valid in deferred mode, where ``_batching`` is permanently set and
+        the scalar drain's trailing flush is a no-op.
+        """
+        design = self.design
+        map_ = self.map
+        hierarchy = self.hierarchy
+        md = hierarchy.metadata_cache
+        md_sets = md._sets
+        md_mask = md._set_mask
+        md_shift = md._set_shift
+        md_assoc = md.associativity
+        llc = hierarchy.llc
+        llc_sets = llc._sets
+        llc_mask = llc._set_mask
+        llc_shift = llc._set_shift
+        llc_assoc = llc.associativity
+        llc_fill = llc.fill
+        counter_base = map_.counter_base
+        counter_coverage = map_.counter_coverage
+        mac_base = map_.mac_base
+        parity_base = map_.parity_base
+        tree_base = map_.tree_level_bases[0]
+        encrypted = design.encrypted
+        counters_in_llc = design.counters_in_llc
+        separate_mac = design.mac_location is MacLocation.SEPARATE
+        macs_in_llc = design.macs_in_llc
+        parity_on_write = design.parity_write_on_data_write
+        lotecc_rmw = design.lotecc_parity_rmw
+        lotecc_coalesced = design.lotecc_write_coalescing
+        tree_levels = tuple(
+            (base, size - 1)
+            for base, size in zip(map_.tree_level_bases, map_.tree_level_sizes)
+        )
+        arity = TREE_ARITY
+        batch = self._batch
+        batch_append = batch.append
+        queue = self._writeback_queue
+        queue_append = queue.append
+        queue_popleft = queue.popleft
+        stats_counter = self.stats.counter
+        account = self._account_counters
+        absent = ABSENT
+        read = _READ
+        write = _WRITE
+        engine = self
+
+        def bind(origin_flag, category, kind):
+            # Same lazy creation as _account: names and stat-group order
+            # match the scalar path's first-use points exactly.
+            key = (origin_flag, category, kind)
+            counter = account.get(key)
+            if counter is None:
+                counter = stats_counter(
+                    "%s_%s_%s"
+                    % (
+                        "writeback" if origin_flag else "demand",
+                        category,
+                        kind.value,
+                    )
+                )
+                account[key] = counter
+            return counter
+
+        # Lazily-bound accounting counters (write-path first-use order).
+        cells = {}
+
+        def md_probe_write(line):
+            # access_metadata(line, is_write=True, use_llc) with the dict
+            # probes inlined; returns (hit, writeback address or None).
+            ways = md_sets[line & md_mask]
+            tag = line >> md_shift
+            prev = ways.pop(tag, absent)
+            if prev is not absent:
+                md.hits += 1
+                ways[tag] = True
+                return True, None
+            md.misses += 1
+            dedicated_wb = None
+            if len(ways) >= md_assoc:
+                victim_tag = next(iter(ways))
+                victim_dirty = ways.pop(victim_tag)
+                md.evictions += 1
+                if victim_dirty:
+                    md.dirty_evictions += 1
+                    dedicated_wb = (victim_tag << md_shift) | (line & md_mask)
+            ways[tag] = True
+            if not counters_in_llc:
+                return False, dedicated_wb
+            llc_ways = llc_sets[line & llc_mask]
+            llc_tag = line >> llc_shift
+            llc_prev = llc_ways.pop(llc_tag, absent)
+            if llc_prev is not absent:
+                llc.hits += 1
+                llc_ways[llc_tag] = True
+                if dedicated_wb is None:
+                    return True, None
+                return True, llc_fill(dedicated_wb, True)
+            llc.misses += 1
+            llc_wb = None
+            if len(llc_ways) >= llc_assoc:
+                victim_tag = next(iter(llc_ways))
+                victim_dirty = llc_ways.pop(victim_tag)
+                llc.evictions += 1
+                if victim_dirty:
+                    llc.dirty_evictions += 1
+                    llc_wb = (victim_tag << llc_shift) | (line & llc_mask)
+            llc_ways[llc_tag] = True
+            hierarchy.metadata_llc_fills += 1
+            spill = None
+            if dedicated_wb is not None:
+                spill = llc_fill(dedicated_wb, True)
+            # Pinned quirk (see access_metadata): `or`, not `is None`.
+            return False, llc_wb or spill
+
+        def writeback_fast(victim, when, core):
+            if victim is None:
+                return
+            queue_append(victim)
+            if engine._draining_writebacks:
+                return
+            engine._draining_writebacks = True
+            n_meta = 0
+            try:
+                while queue:
+                    line = queue_popleft()
+                    if line < counter_base:
+                        # Data-region victim: full write-side expansion,
+                        # accounted as writeback-origin traffic.
+                        engine._in_writeback_path = True
+                        try:
+                            counter = cells.get("wd")
+                            if counter is None:
+                                counter = cells["wd"] = bind(
+                                    True, "data", write
+                                )
+                            counter.value += 1
+                            batch_append((write, line, when, "data", core))
+                            if encrypted:
+                                counter_line = (
+                                    counter_base + line // counter_coverage
+                                )
+                                hit, wb = md_probe_write(counter_line)
+                                if wb is not None:
+                                    queue_append(wb)
+                                if not hit:
+                                    counter = cells.get("wcr")
+                                    if counter is None:
+                                        counter = cells["wcr"] = bind(
+                                            True, "counter", read
+                                        )
+                                    counter.value += 1
+                                    n_meta += 1
+                                    batch_append(
+                                        (read, counter_line, when,
+                                         "counter", core)
+                                    )
+                                # Dirty every tree level to the root (the
+                                # write side has no break-on-hit).
+                                index = counter_line - counter_base
+                                for level_base, level_cap in tree_levels:
+                                    index //= arity
+                                    tree_line = level_base + (
+                                        index
+                                        if index < level_cap
+                                        else level_cap
+                                    )
+                                    hit, wb = md_probe_write(tree_line)
+                                    if wb is not None:
+                                        queue_append(wb)
+                                    if not hit:
+                                        counter = cells.get("wcr")
+                                        if counter is None:
+                                            counter = cells["wcr"] = bind(
+                                                True, "counter", read
+                                            )
+                                        counter.value += 1
+                                        n_meta += 1
+                                        batch_append(
+                                            (read, tree_line, when,
+                                             "counter", core)
+                                        )
+                                if separate_mac:
+                                    mac_line = (
+                                        mac_base + line // MAC_COVERAGE
+                                    )
+                                    counter = cells.get("wmw")
+                                    if counter is None:
+                                        counter = cells["wmw"] = bind(
+                                            True, "mac", write
+                                        )
+                                    counter.value += 1
+                                    n_meta += 1
+                                    batch_append(
+                                        (write, mac_line, when, "mac", core)
+                                    )
+                                    if macs_in_llc:
+                                        wb = llc_fill(mac_line)
+                                        if wb is not None:
+                                            queue_append(wb)
+                            if parity_on_write:
+                                parity_line = (
+                                    parity_base + line // PARITY_COVERAGE
+                                )
+                                counter = cells.get("wpw")
+                                if counter is None:
+                                    counter = cells["wpw"] = bind(
+                                        True, "parity", write
+                                    )
+                                counter.value += 1
+                                n_meta += 1
+                                batch_append(
+                                    (write, parity_line, when,
+                                     "parity", core)
+                                )
+                            if lotecc_rmw:
+                                parity_line = (
+                                    parity_base + line // PARITY_COVERAGE
+                                )
+                                if not lotecc_coalesced:
+                                    counter = cells.get("wpr")
+                                    if counter is None:
+                                        counter = cells["wpr"] = bind(
+                                            True, "parity", read
+                                        )
+                                    counter.value += 1
+                                    n_meta += 1
+                                    batch_append(
+                                        (read, parity_line, when,
+                                         "parity", core)
+                                    )
+                                counter = cells.get("wpw")
+                                if counter is None:
+                                    counter = cells["wpw"] = bind(
+                                        True, "parity", write
+                                    )
+                                counter.value += 1
+                                n_meta += 1
+                                batch_append(
+                                    (write, parity_line, when,
+                                     "parity", core)
+                                )
+                        finally:
+                            engine._in_writeback_path = False
+                    else:
+                        # Metadata victim: classify by region, plain
+                        # memory write, demand-origin accounting (the
+                        # drain loop runs outside _in_writeback_path —
+                        # the scalar path's pinned behaviour).
+                        if line < mac_base:
+                            category = "counter"
+                            cell_key = "dcw"
+                        elif line < parity_base:
+                            category = "mac"
+                            cell_key = "dmw"
+                        elif line < tree_base:
+                            category = "parity"
+                            cell_key = "dpw"
+                        else:
+                            category = "counter"
+                            cell_key = "dcw"
+                        counter = cells.get(cell_key)
+                        if counter is None:
+                            counter = cells[cell_key] = bind(
+                                False, category, write
+                            )
+                        counter.value += 1
+                        n_meta += 1
+                        batch_append((write, line, when, category, core))
+            finally:
+                engine._draining_writebacks = False
+                if n_meta:
+                    engine._n_metadata_accesses += n_meta
+
+        return writeback_fast
+
+    def _build_fast_warm(self):
+        """Build the fused warmup metadata walk (fast-path designs only).
+
+        Performs exactly the cache-state transitions of
+        :meth:`warm_miss_metadata` — dedicated/LLC dict probes with
+        ``is_write``-honouring dirty bits, victim spills, break-on-hit
+        Bonsai walk — with every stat bump skipped (legal only in warmup:
+        ``SystemSimulator.warmup`` resets all of them afterwards) and
+        memory writebacks dropped (warmup generates no DRAM traffic).
+        Dirty dedicated victims still spill into the LLC when the design
+        backs metadata there, because that *is* cache state.
+        """
+        design = self.design
+        map_ = self.map
+        hierarchy = self.hierarchy
+        md = hierarchy.metadata_cache
+        md_sets = md._sets
+        md_mask = md._set_mask
+        md_shift = md._set_shift
+        md_assoc = md.associativity
+        llc = hierarchy.llc
+        llc_sets = llc._sets
+        llc_mask = llc._set_mask
+        llc_shift = llc._set_shift
+        llc_assoc = llc.associativity
+        llc_fill = llc.fill
+        counter_base = map_.counter_base
+        counter_coverage = map_.counter_coverage
+        mac_base = map_.mac_base
+        counters_in_llc = design.counters_in_llc
+        mac_llc_fill = (
+            design.mac_location is MacLocation.SEPARATE and design.macs_in_llc
+        )
+        tree_levels = tuple(
+            (base, size - 1)
+            for base, size in zip(map_.tree_level_bases, map_.tree_level_sizes)
+        )
+        arity = TREE_ARITY
+        absent = ABSENT
+
+        def warm_probe(line, is_write):
+            # access_metadata's state transitions, stats-free: dedicated
+            # probe, optional LLC layer, dirty-victim spill. Returns hit.
+            ways = md_sets[line & md_mask]
+            tag = line >> md_shift
+            prev = ways.pop(tag, absent)
+            if prev is not absent:
+                ways[tag] = True if is_write else prev
+                return True
+            victim = None
+            if len(ways) >= md_assoc:
+                victim_tag = next(iter(ways))
+                if ways.pop(victim_tag):
+                    victim = (victim_tag << md_shift) | (line & md_mask)
+            ways[tag] = is_write
+            if not counters_in_llc:
+                return False
+            llc_ways = llc_sets[line & llc_mask]
+            llc_tag = line >> llc_shift
+            llc_prev = llc_ways.pop(llc_tag, absent)
+            if llc_prev is not absent:
+                llc_ways[llc_tag] = True if is_write else llc_prev
+                if victim is not None:
+                    llc_fill(victim, True)
+                return True
+            if len(llc_ways) >= llc_assoc:
+                llc_ways.pop(next(iter(llc_ways)))
+            llc_ways[llc_tag] = is_write
+            if victim is not None:
+                llc_fill(victim, True)
+            return False
+
+        def warm_fast(data_line, is_write):
+            counter_line = counter_base + data_line // counter_coverage
+            if not warm_probe(counter_line, is_write):
+                # Bonsai walk toward the cached anchor (every fast-path
+                # encrypted design is Bonsai), break on first hit.
+                index = counter_line - counter_base
+                for level_base, level_cap in tree_levels:
+                    index //= arity
+                    tree_line = level_base + (
+                        index if index < level_cap else level_cap
+                    )
+                    if warm_probe(tree_line, is_write):
+                        break
+            if mac_llc_fill:
+                llc_fill(mac_base + data_line // MAC_COVERAGE)
+
+        return warm_fast
+
+    # ------------------------------------------------------------------
     # Cache warmup (no DRAM traffic)
     # ------------------------------------------------------------------
 
@@ -367,10 +1080,19 @@ class SecureTimingEngine:
         paper's 1B-instruction slices run with warm caches; short synthetic
         traces must not measure an LLC that never filled (see DESIGN.md).
         """
-        design = self.design
         result = self.hierarchy.access_data(data_line, is_write)
-        if result.hit or not design.encrypted:
+        if result.hit or not self.design.encrypted:
             return
+        self.warm_miss_metadata(data_line, is_write)
+
+    def warm_miss_metadata(self, data_line: int, is_write: bool) -> None:
+        """The metadata half of :meth:`warm_data_access` (post-LLC-miss).
+
+        Split out so the system's fused warmup loop — which inlines the
+        LLC probe itself — can invoke just the metadata walk on misses of
+        encrypted designs.
+        """
+        design = self.design
         counter_line = self.map.counter_line(data_line)
         chain = self.hierarchy.access_metadata(
             counter_line, is_write=is_write, use_llc=design.counters_in_llc

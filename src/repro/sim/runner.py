@@ -11,11 +11,17 @@ but is simulated once per code version.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.sanitizer import get_sanitizer
 from repro.cpu.trace import Trace
-from repro.parallel import parallel_map, resolve_cache, resolve_jobs
+from repro.parallel import (
+    EXECUTION_STATS,
+    parallel_map,
+    resolve_cache,
+    resolve_jobs,
+)
 from repro.parallel.runcache import RunCache, cache_key
 from repro.secure.designs import SecureDesign
 from repro.sim.config import SystemConfig
@@ -100,6 +106,98 @@ def _traces_for(
     return label, traces
 
 
+#: Process-local memo for post-warmup cache state. Warmup is a pure
+#: function of (warm traces, cache geometry, the design flags that steer
+#: the metadata walk): designs sharing those flags reach byte-identical
+#: cache dictionaries, so grid runs restore the snapshot instead of
+#: replaying the warm traces. Snapshot dicts are private copies — the
+#: restore copies them into the simulator's own set dictionaries
+#: (preserving insertion order, which *is* the LRU state).
+_WARM_MEMO: Dict[Tuple[object, ...], Tuple[list, list]] = {}
+_WARM_MEMO_MAX = 64
+
+
+def _warm_key(design: SecureDesign, label: str, config: SystemConfig):
+    """Memo key: everything the post-warmup cache state depends on."""
+    caches = config.caches
+    return (
+        label,
+        config.num_cores,
+        config.accesses_per_core,
+        config.lines_per_core,
+        config.num_data_lines,
+        config.cache_scale,
+        caches.llc_bytes,
+        caches.llc_associativity,
+        caches.metadata_bytes,
+        caches.metadata_associativity,
+        design.encrypted,
+        design.counters_in_llc,
+        design.mac_location,
+        design.macs_cached,
+        design.macs_in_llc,
+        design.tree_kind,
+        design.counter_mode,
+    )
+
+
+def _warm_simulator(
+    sim: SystemSimulator,
+    design: SecureDesign,
+    label: str,
+    config: SystemConfig,
+    warmup_traces: List[Trace],
+) -> None:
+    """Warm ``sim``'s caches, through the memo when a snapshot exists."""
+    key = _warm_key(design, label, config)
+    cached = _WARM_MEMO.get(key)
+    llc_sets = sim.hierarchy.llc._sets
+    md_sets = sim.hierarchy.metadata_cache._sets
+    if cached is None:
+        sim.warmup(warmup_traces)
+        if len(_WARM_MEMO) >= _WARM_MEMO_MAX:
+            _WARM_MEMO.clear()
+        _WARM_MEMO[key] = (
+            [dict(ways) for ways in llc_sets],
+            [dict(ways) for ways in md_sets],
+        )
+        return
+    # Fresh caches are empty, so update() reproduces the snapshot's
+    # entries in insertion order — bit-identical LRU state. Stats stay
+    # zero, exactly where warmup's trailing resets would leave them.
+    for ways, snapshot in zip(llc_sets, cached[0]):
+        ways.update(snapshot)
+    for ways, snapshot in zip(md_sets, cached[1]):
+        ways.update(snapshot)
+
+
+#: Process-local L1 in front of the persistent run cache, keyed by the
+#: same content address. The evaluation figures share grid cells wholesale
+#: (the SGX_O/SGX/Synergy baseline grid recurs in Figs. 8/9/10, Fig. 12's
+#: two-channel leg, and Fig. 13's monolithic leg), and each cell is a pure
+#: function of its key — so within one process the second figure replays
+#: the first figure's result instead of re-simulating. Unlike the disk
+#: cache this cannot go stale (it dies with the process and never spans a
+#: code version), so it stays on even when the persistent cache is
+#: disabled. Values are JSON strings: hits round-trip through
+#: ``json.loads`` so every consumer sees the same payload types as a
+#: disk-cache hit, and no two figures share mutable result state.
+_RUN_MEMO: Dict[str, str] = {}
+_RUN_MEMO_MAX = 512
+
+
+def clear_run_memos() -> None:
+    """Drop every process-local memo (traces, warm state, cell results).
+
+    Tests that assert on execution counts call this first; nothing in the
+    memos is observable in results — cells are pure — so clearing is
+    always safe, merely slower.
+    """
+    _TRACE_MEMO.clear()
+    _WARM_MEMO.clear()
+    _RUN_MEMO.clear()
+
+
 def run_workload(
     design: SecureDesign,
     workload: Union[str, WorkloadProfile],
@@ -119,7 +217,10 @@ def run_workload(
     tracer = get_tracer()
     with cell_scope(cell=cell) as registry:
         tracer.emit("cell_start", design=design.name, workload=label)
-        sim = SystemSimulator(design, traces, config).run(warmup_traces)
+        sim = SystemSimulator(design, traces, config)
+        if config.warm_caches and warmup_traces:
+            _warm_simulator(sim, design, label, config, warmup_traces)
+        sim.run()
         energy = system_energy(sim, energy_params or SystemEnergyParams())
         tracer.emit(
             "cell_end",
@@ -204,16 +305,27 @@ def run_suite(
     run_cache = resolve_cache(cache)
 
     cells = [(design, workload) for design in designs for workload in workloads]
+    # The in-process memo stands down under the sanitizer: sanitize runs
+    # recompute every cell so check_cached_payload exercises the full path.
+    memo_on = get_sanitizer() is None
     finished = {}
     pending = []
     for design, workload in cells:
         label = "%s/%s" % (design.name, _workload_label(workload))
         key = (
             _cell_key(design, workload, config, energy_params)
-            if run_cache is not None
+            if run_cache is not None or memo_on
             else None
         )
-        if key is not None:
+        if key is not None and memo_on:
+            serialized = _RUN_MEMO.get(key)
+            if serialized is not None:
+                EXECUTION_STATS.record_cache_hit(label)
+                finished[(design, workload)] = RunResult.from_payload(
+                    json.loads(serialized)
+                )
+                continue
+        if key is not None and run_cache is not None:
             payload = run_cache.get(key, label=label)
             if payload is not None:
                 sanitizer = get_sanitizer()
@@ -225,6 +337,8 @@ def run_suite(
                             d, w, config, energy_params
                         ).to_payload(),
                     )
+                elif len(_RUN_MEMO) < _RUN_MEMO_MAX:
+                    _RUN_MEMO[key] = json.dumps(payload)
                 finished[(design, workload)] = RunResult.from_payload(payload)
                 continue
         pending.append(((design, workload), key, label))
@@ -241,8 +355,14 @@ def run_suite(
         )
         for (cell, key, _label), result in zip(pending, results):
             finished[cell] = result
-            if run_cache is not None and key is not None:
-                run_cache.put(key, result.to_payload())
+            if key is not None:
+                payload = result.to_payload()
+                if run_cache is not None:
+                    run_cache.put(key, payload)
+                if memo_on:
+                    if len(_RUN_MEMO) >= _RUN_MEMO_MAX:
+                        _RUN_MEMO.clear()
+                    _RUN_MEMO[key] = json.dumps(payload)
 
     table = ResultTable()
     for cell in cells:

@@ -16,10 +16,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.setassoc import ABSENT
 from repro.cpu.multicore import MulticoreDriver
 from repro.cpu.rob import AccessHandle, CoreModel
 from repro.cpu.trace import Trace
-from repro.dram.controller import MemoryController, Request
+from repro.dram.controller import MemoryController
 from repro.secure.designs import SecureDesign
 from repro.secure.timing_engine import SecureTimingEngine
 from repro.sim.config import SystemConfig
@@ -58,9 +59,13 @@ class SystemSimulator:
         self.engine = SecureTimingEngine(
             design, self.hierarchy, self.controller, config.num_data_lines
         )
+        # Columnar timing plane: the engine buffers every emission of an
+        # epoch and flushes once at the resolve boundary; blocking sets
+        # are tracked as indices into that epoch batch (see _resolve).
+        self.engine.begin_deferred()
         self.stats = StatGroup("system")
         self._traces = list(traces)
-        self._unresolved: List[Tuple[AccessHandle, List[Request], float]] = []
+        self._unresolved: List[Tuple[AccessHandle, List[int], float]] = []
         self.cores = [
             CoreModel(core_id, trace, self._read, self._write, config.core)
             for core_id, trace in enumerate(traces)
@@ -78,6 +83,20 @@ class SystemSimulator:
         self._c_llc_misses = self.stats.counter("llc_misses")
         self._llc_latency = config.llc_latency_cpu
         self._access_data = self.hierarchy.access_data
+        # LLC internals, bound once: _read/_write run per data access and
+        # inline the set-dict probe (same ops as SetAssociativeCache.access,
+        # same stat bumps — see that class for the LRU idiom).
+        llc = self.hierarchy.llc
+        self._llc = llc
+        self._llc_sets = llc._sets
+        self._llc_mask = llc._set_mask
+        self._llc_shift = llc._set_shift
+        self._llc_assoc = llc.associativity
+        self._expand_miss = self.engine.expand_read_miss_deferred
+        # Dirty-data evictions route through the fused writeback drain on
+        # fast-path designs; the scalar drain elsewhere (same boundary as
+        # miss expansion).
+        self._writeback = self.engine.fast_writeback or self.engine.writeback
 
     # ------------------------------------------------------------------
     # Core-facing memory interface
@@ -86,30 +105,74 @@ class SystemSimulator:
     def _read(self, line_address: int, cpu_time: float, core: int) -> AccessHandle:
         # Unit increments bump the counter slots directly (no method call).
         self._c_data_reads.value += 1
-        result = self._access_data(line_address, False)
-        if result.hit:
+        set_index = line_address & self._llc_mask
+        tag = line_address >> self._llc_shift
+        ways = self._llc_sets[set_index]
+        prev = ways.pop(tag, ABSENT)
+        if prev is not ABSENT:
+            self._llc.hits += 1
+            ways[tag] = prev
             self._c_llc_hits.value += 1
             return AccessHandle(cpu_time + self._llc_latency)
+        llc = self._llc
+        llc.misses += 1
+        writeback = None
+        if len(ways) >= self._llc_assoc:
+            victim_tag = next(iter(ways))
+            victim_dirty = ways.pop(victim_tag)
+            llc.evictions += 1
+            if victim_dirty:
+                llc.dirty_evictions += 1
+                writeback = (victim_tag << self._llc_shift) | set_index
+        ways[tag] = False
+        self.hierarchy.data_llc_fills += 1
         self._c_llc_misses.value += 1
         mem_time = int(cpu_time // self._mult)
-        self.engine.writeback(result.writeback_address, mem_time, core)
-        expanded = self.engine.expand_read_miss(line_address, mem_time, core)
+        if writeback is not None:
+            self._writeback(writeback, mem_time, core)
+        blocking = self._expand_miss(line_address, mem_time, core)
         handle = AccessHandle(None)
-        self._unresolved.append((handle, expanded.blocking, cpu_time))
+        self._unresolved.append((handle, blocking, cpu_time))
         return handle
 
     def _write(self, line_address: int, cpu_time: float, core: int) -> None:
         self._c_data_writes.value += 1
-        result = self._access_data(line_address, True)
-        if not result.hit:
+        set_index = line_address & self._llc_mask
+        tag = line_address >> self._llc_shift
+        ways = self._llc_sets[set_index]
+        prev = ways.pop(tag, ABSENT)
+        if prev is not ABSENT:
+            self._llc.hits += 1
+            ways[tag] = True
+            return
+        llc = self._llc
+        llc.misses += 1
+        writeback = None
+        if len(ways) >= self._llc_assoc:
+            victim_tag = next(iter(ways))
+            victim_dirty = ways.pop(victim_tag)
+            llc.evictions += 1
+            if victim_dirty:
+                llc.dirty_evictions += 1
+                writeback = (victim_tag << self._llc_shift) | set_index
+        ways[tag] = True
+        self.hierarchy.data_llc_fills += 1
+        if writeback is not None:
             mem_time = int(cpu_time // self._mult)
-            self.engine.writeback(result.writeback_address, mem_time, core)
+            self._writeback(writeback, mem_time, core)
         # Write-validate allocation: the store itself needs no memory fetch.
 
     # ------------------------------------------------------------------
 
     def _resolve(self) -> None:
-        """Schedule all pending DRAM work and fill in handle completions."""
+        """Flush the epoch batch, schedule DRAM, fill in completions.
+
+        The engine buffered this epoch's emissions; one ``flush_epoch``
+        materialises them (same order/sequence numbers as immediate
+        enqueues) and the blocking indices recorded at ``_read`` resolve
+        against the returned request list.
+        """
+        requests = self.engine.flush_epoch()
         self.controller.process()
         verify = (
             self.config.verify_latency_cpu if self.design.encrypted else 0
@@ -122,14 +185,19 @@ class SystemSimulator:
         llc_latency = self._llc_latency
         mult = self._mult
         record_latency = self._t_miss_latency.record
-        for handle, requests, issue_cpu in self._unresolved:
+        for handle, blocking, issue_cpu in self._unresolved:
             if speculative:
                 # PoisonIvy-style: data usable on arrival; verification
                 # (and its metadata fetches) retire off the critical path.
-                last_mem = requests[0].completion
+                # blocking[0] is always the data read itself.
+                last_mem = requests[blocking[0]].completion
                 latency_tail = llc_latency
+            elif len(blocking) == 1:
+                # Counter-hit majority: only the data read gates.
+                last_mem = requests[blocking[0]].completion
+                latency_tail = llc_latency + verify
             else:
-                last_mem = max(request.completion for request in requests)
+                last_mem = max(requests[index].completion for index in blocking)
                 latency_tail = llc_latency + verify
             completion = last_mem * mult
             if issue_cpu > completion:
@@ -149,12 +217,35 @@ class SystemSimulator:
         reach steady-state occupancy without pre-loading the measured
         accesses themselves.
         """
+        # Fused replay: the LLC probe is inlined with every stat bump
+        # skipped — legal only here, because reset_stats/reset_fill_stats
+        # below zero every counter warmup would have touched. Metadata
+        # walks (the miss minority) still run through the engine.
+        llc_sets = self._llc_sets
+        llc_mask = self._llc_mask
+        llc_shift = self._llc_shift
+        llc_assoc = self._llc_assoc
+        encrypted = self.design.encrypted
+        # Fast-path designs use the fused warm walk (same state
+        # transitions, stats skipped); MAC-tree/cached-MAC designs keep
+        # the scalar walk — the same oracle boundary as miss expansion.
+        warm_metadata = self.engine.fast_warm or self.engine.warm_miss_metadata
+        absent = ABSENT
         for trace in traces:
-            warm = self.engine.warm_data_access
             # Columnar iteration: plain (gap, is_write, line) ints — the
             # warmup replay skips TraceRecord construction entirely.
             for _gap, is_write, line in trace.iter_accesses():
-                warm(line, is_write != 0)
+                ways = llc_sets[line & llc_mask]
+                tag = line >> llc_shift
+                prev = ways.pop(tag, absent)
+                if prev is not absent:
+                    ways[tag] = True if is_write else prev
+                    continue
+                if len(ways) >= llc_assoc:
+                    ways.pop(next(iter(ways)))
+                ways[tag] = is_write != 0
+                if encrypted:
+                    warm_metadata(line, is_write != 0)
         self.hierarchy.llc.reset_stats()
         self.hierarchy.metadata_cache.reset_stats()
         self.hierarchy.reset_fill_stats()

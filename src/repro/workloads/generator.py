@@ -526,10 +526,8 @@ def _decode_block(
         suspect = _np.nonzero(
             _np.abs(gap_f - _np.rint(gap_f)) <= 1e-6 * (1.0 + _np.abs(gap_f))
         )[0]
-        for i in suspect.tolist():
-            gaps[i] = int(
-                -math.log(1.0 - u_gap.item(i)) / lambd_gap
-            )
+        for i, u in zip(suspect.tolist(), u_gap[suspect].tolist()):
+            gaps[i] = int(-math.log(1.0 - u) / lambd_gap)
     else:
         gaps = _np.zeros(num_accesses, dtype=_np.int64)
     t_write = math.ceil(profile.write_fraction * 9007199254740992.0)

@@ -65,6 +65,12 @@ RULE_FIXTURES = {
         '        get_registry().counter("n").inc()\n',
         "<memory>",
     ),
+    "P204": (
+        "def drain(values, total):\n"
+        "    for value in values:\n"
+        "        total += value.item()\n",
+        "<memory>",
+    ),
     "H301": ("try:\n    work()\nexcept Exception:\n    pass\n", "<memory>"),
     "H302": ("def f(hash):\n    return hash\n", "<memory>"),
 }
@@ -105,6 +111,37 @@ class TestLintRules:
     def test_reraising_broad_except_is_allowed(self):
         source = "try:\n    work()\nexcept BaseException:\n    raise\n"
         assert lint_source(source) == []
+
+    def test_p204_flags_subscript_unboxing_of_numpy_names(self):
+        source = (
+            "def classify(rng, n):\n"
+            "    counts = rng.poisson(1.0, n)\n"
+            "    idx = np.flatnonzero(counts)\n"
+            "    out = 0\n"
+            "    for i in idx.tolist():\n"
+            "        out += int(counts[i])\n"
+            "    return out\n"
+        )
+        assert [v.rule_id for v in lint_source(source)] == ["P204"]
+
+    def test_p204_allows_bulk_tolist_before_loop(self):
+        source = (
+            "def classify(rng, n):\n"
+            "    counts = rng.poisson(1.0, n).tolist()\n"
+            "    out = 0\n"
+            "    for count in counts:\n"
+            "        out += count\n"
+            "    return out\n"
+        )
+        assert lint_source(source) == []
+
+    def test_p204_flags_tolist_inside_loop(self):
+        source = (
+            "def f(chunks):\n"
+            "    for chunk in chunks:\n"
+            "        consume(chunk.tolist())\n"
+        )
+        assert [v.rule_id for v in lint_source(source)] == ["P204"]
 
     def test_dataclasses_exempt_from_slots_rule(self):
         source = (

@@ -1,0 +1,234 @@
+"""Randomized scalar-vs-vector equivalence for the columnar timing plane.
+
+The epoch-deferred engine (``begin_deferred`` + fused fast paths) must be
+bit-identical to the scalar oracle for *every* design in
+``secure/designs.py`` — not just the golden grid's subset. These tests
+drive one scalar and one deferred engine with the same pseudo-random
+access stream (an LCG, so failures reproduce exactly) and compare every
+observable:
+
+* the controller's incoming queues — request lines, kinds, categories,
+  arrival times and **sequence numbers**, per channel, in order;
+* the blocking sets of every expansion (resolved to (line, sequence));
+* the engine's accounting stats (``StatGroup`` insertion order included);
+* both cache's full set dictionaries — entry order *is* LRU state;
+* the per-engine telemetry snapshot.
+
+The warm phase exercises ``fast_warm`` against ``warm_miss_metadata``
+under the same post-warmup reset contract the system simulator applies.
+
+A second class pins the Monte-Carlo multi-shard batched classification
+(``simulate_shards_batched``) to the per-shard reference, including the
+per-shard telemetry payloads.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.dram.controller import MemoryController
+from repro.dram.timing import MemoryConfig
+from repro.reliability.montecarlo import (
+    MonteCarloConfig,
+    _shard_task,
+    simulate_shards_batched,
+)
+from repro.reliability.schemes import (
+    CHIPKILL_SCHEME,
+    IVEC_SCHEME,
+    SECDED_SCHEME,
+    SYNERGY_SCHEME,
+)
+from repro.secure.designs import ALL_DESIGNS
+from repro.secure.timing_engine import SecureTimingEngine
+from repro.telemetry import cell_scope
+
+#: Small caches so a short stream still produces evictions, dirty spills
+#: and metadata-cache misses (the interesting transitions).
+_CACHES = CacheConfig(llc_bytes=64 * 1024, metadata_bytes=8 * 1024)
+_NUM_DATA_LINES = 4096
+_WARM_EVENTS = 300
+_MEASURED_EVENTS = 600
+_FLUSH_EVERY = 64
+
+
+def _lcg_stream(seed):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def _drive(design, deferred, seed):
+    """Run one engine over the shared stream; return its observables."""
+    with cell_scope(cell="equiv:%s:%s" % (design.name, deferred)) as registry:
+        controller = MemoryController(MemoryConfig())
+        hierarchy = CacheHierarchy(_CACHES)
+        engine = SecureTimingEngine(
+            design, hierarchy, controller, _NUM_DATA_LINES
+        )
+        if deferred:
+            engine.begin_deferred()
+            expand = engine.expand_read_miss_deferred
+            handle_writeback = engine.fast_writeback or engine.writeback
+            warm = engine.fast_warm or engine.warm_miss_metadata
+        else:
+            expand = engine.expand_read_miss
+            handle_writeback = engine.writeback
+            warm = engine.warm_miss_metadata
+
+        stream = _lcg_stream(seed)
+
+        # Warm phase: metadata walks only (the system simulator handles
+        # the data-cache side), then the same resets warmup applies.
+        if design.encrypted:
+            for index in range(_WARM_EVENTS):
+                value = next(stream)
+                warm(value % _NUM_DATA_LINES, index % 3 == 0)
+        hierarchy.llc.reset_stats()
+        hierarchy.metadata_cache.reset_stats()
+        hierarchy.reset_fill_stats()
+
+        # Measured phase: read-miss expansions with a writeback every
+        # fifth event; the deferred engine flushes every _FLUSH_EVERY
+        # events, mirroring the system's resolve boundary.
+        blocking_log = []
+        pending = []  # (event_index, indices) awaiting this epoch's flush
+        for index in range(_MEASURED_EVENTS):
+            value = next(stream)
+            line = value % _NUM_DATA_LINES
+            when = 2 + index * 3
+            core = value % 4
+            if index % 5 == 4:
+                handle_writeback(line, when, core)
+            elif deferred:
+                pending.append((index, expand(line, when, core)))
+            else:
+                access = expand(line, when, core)
+                blocking_log.append(
+                    (
+                        index,
+                        [(r.line_address, r.sequence) for r in access.blocking],
+                    )
+                )
+            if deferred and (index + 1) % _FLUSH_EVERY == 0:
+                requests = engine.flush_epoch()
+                for event, indices in pending:
+                    blocking_log.append(
+                        (
+                            event,
+                            [
+                                (requests[i].line_address, requests[i].sequence)
+                                for i in indices
+                            ],
+                        )
+                    )
+                pending = []
+        if deferred:
+            requests = engine.flush_epoch()
+            for event, indices in pending:
+                blocking_log.append(
+                    (
+                        event,
+                        [
+                            (requests[i].line_address, requests[i].sequence)
+                            for i in indices
+                        ],
+                    )
+                )
+        engine.sync_telemetry()
+
+        queues = [
+            [
+                (
+                    arrival,
+                    sequence,
+                    request.line_address,
+                    request.kind.value,
+                    request.category,
+                    request.core,
+                )
+                for arrival, sequence, request in queue.incoming
+            ]
+            for queue in controller._queues
+        ]
+        observables = {
+            "queues": queues,
+            "blocking": sorted(blocking_log),
+            "stats": list(engine.stats.as_dict().items()),
+            "metadata_accesses": engine._n_metadata_accesses,
+            "md_sets": [
+                list(ways.items())
+                for ways in hierarchy.metadata_cache._sets
+            ],
+            "llc_sets": [list(ways.items()) for ways in hierarchy.llc._sets],
+            "cache_stats": [
+                (
+                    cache.hits,
+                    cache.misses,
+                    cache.evictions,
+                    cache.dirty_evictions,
+                )
+                for cache in (hierarchy.llc, hierarchy.metadata_cache)
+            ],
+            "fills": (
+                hierarchy.data_llc_fills,
+                hierarchy.metadata_llc_fills,
+            ),
+            "telemetry": registry.snapshot().deterministic().to_payload(),
+        }
+    return observables
+
+
+@pytest.mark.parametrize(
+    "design", ALL_DESIGNS, ids=[d.name for d in ALL_DESIGNS]
+)
+def test_deferred_engine_matches_scalar_oracle(design):
+    """Every design: columnar/deferred run == scalar run, bit for bit."""
+    scalar = _drive(design, deferred=False, seed=0xC0FFEE)
+    vector = _drive(design, deferred=True, seed=0xC0FFEE)
+    for key in scalar:
+        assert vector[key] == scalar[key], (
+            "%s diverged for %s" % (key, design.name)
+        )
+
+
+@pytest.mark.parametrize("seed", [1, 2018, 0x5EED])
+def test_deferred_equivalence_seed_sweep(seed):
+    """Fast-path boundary designs stay equivalent across seeds."""
+    from repro.secure.designs import LOTECC, SGX_O, SYNERGY
+
+    for design in (SGX_O, SYNERGY, LOTECC):
+        scalar = _drive(design, deferred=False, seed=seed)
+        vector = _drive(design, deferred=True, seed=seed)
+        assert vector == scalar, design.name
+
+
+class TestMonteCarloBatched:
+    def test_batched_shards_match_reference(self):
+        config = MonteCarloConfig(
+            devices=120_000, shard_devices=50_000, seed=77
+        )
+        shards = config.shards()
+        for scheme in (
+            SECDED_SCHEME,
+            CHIPKILL_SCHEME,
+            SYNERGY_SCHEME,
+            IVEC_SCHEME,
+        ):
+            batched = simulate_shards_batched(scheme, config, shards)
+            reference = [
+                _shard_task((scheme, config, shard_id, size))
+                for shard_id, size in shards
+            ]
+            assert batched == reference, scheme.name
+
+    def test_batched_handles_ragged_final_shard(self):
+        config = MonteCarloConfig(devices=70_001, shard_devices=30_000, seed=5)
+        shards = config.shards()
+        assert [size for _sid, size in shards] == [30_000, 30_000, 10_001]
+        batched = simulate_shards_batched(SECDED_SCHEME, config, shards)
+        reference = [
+            _shard_task((SECDED_SCHEME, config, shard_id, size))
+            for shard_id, size in shards
+        ]
+        assert batched == reference

@@ -30,7 +30,7 @@ from repro.reliability.schemes import SECDED_SCHEME, SYNERGY_SCHEME
 from repro.secure.designs import SGX_O, SYNERGY
 from repro.sim.config import SystemConfig
 from repro.sim.results import ResultTable, RunResult
-from repro.sim.runner import run_suite
+from repro.sim.runner import clear_run_memos, run_suite
 
 #: Tiny grid: big enough to exercise warm-up, caches and both designs,
 #: small enough that the golden comparison runs twice in seconds.
@@ -153,6 +153,9 @@ class TestRunCache:
         assert len(code_fingerprint()) == 16
 
     def test_run_suite_reuses_cells(self, tmp_path):
+        # Start from empty process-local memos so the cold run actually
+        # executes and the warm run exercises a cache/memo hit.
+        clear_run_memos()
         with overridden(cache_enabled=True, cache_dir=str(tmp_path)):
             EXECUTION_STATS.reset()
             cold = run_suite([SGX_O], ["mcf"], TINY)

@@ -92,7 +92,7 @@ def test_serial_grid_bit_identical(fixture, serial_payloads):
 
 def test_process_pool_bit_identical(fixture):
     """jobs=4: pool workers reproduce the serial bytes (subset of the grid)."""
-    designs = list(gen_golden.GOLDEN_DESIGNS)[2:4]  # SGX_O, SGX_O_SPLIT
+    designs = list(gen_golden.GOLDEN_DESIGNS)[2:4]  # SGX_O, Synergy
     table = run_suite(
         designs,
         gen_golden.GOLDEN_WORKLOADS,

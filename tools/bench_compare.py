@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Diff two benchmark snapshots produced by ``tools/bench_snapshot.py``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py BENCH_PR5.json BENCH_PR6.json
+
+Prints, for every microbenchmark case and every end-to-end figure present
+in either snapshot, the old and new numbers and the speedup (old / new —
+above 1.0 means the second snapshot is faster). Exits non-zero with
+``--max-regression`` if any shared micro case slowed down by more than the
+given fraction (e.g. ``0.25`` fails on a >25% regression), which is how
+the CI perf gate consumes it.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.harness.report import render_table
+
+
+def _load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _micro(snapshot):
+    return {
+        case: values["per_op_us"]
+        for case, values in (snapshot.get("micro") or {}).items()
+    }
+
+
+def _end_to_end(snapshot):
+    return (snapshot.get("end_to_end") or {}).get("after_s") or {}
+
+
+def compare(old, new):
+    """Build (micro_rows, e2e_rows, regressions) for two loaded snapshots."""
+    micro_rows = []
+    regressions = {}
+    old_micro, new_micro = _micro(old), _micro(new)
+    for case in sorted(set(old_micro) | set(new_micro)):
+        before = old_micro.get(case)
+        after = new_micro.get(case)
+        if before is None or after is None:
+            micro_rows.append(
+                [case, _fmt(before), _fmt(after), "(one-sided)"]
+            )
+            continue
+        speedup = before / after if after else float("inf")
+        micro_rows.append(
+            [case, "%.3f" % before, "%.3f" % after, "%.2fx" % speedup]
+        )
+        if after > before:
+            regressions[case] = after / before - 1.0
+
+    e2e_rows = []
+    old_e2e, new_e2e = _end_to_end(old), _end_to_end(new)
+    for figure in sorted(set(old_e2e) | set(new_e2e)):
+        before = old_e2e.get(figure)
+        after = new_e2e.get(figure)
+        if not before and not after:
+            continue  # zero-cost rows (tables, analytic figures) are noise
+        if before is None or after is None:
+            e2e_rows.append([figure, _fmt(before), _fmt(after), "(one-sided)"])
+            continue
+        ratio = "%.2fx" % (before / after) if after else "-"
+        e2e_rows.append([figure, "%.1f" % before, "%.1f" % after, ratio])
+    total_before = sum(value for value in old_e2e.values())
+    total_after = sum(value for value in new_e2e.values())
+    if old_e2e or new_e2e:
+        ratio = "%.2fx" % (total_before / total_after) if total_after else "-"
+        e2e_rows.append(
+            ["TOTAL", "%.1f" % total_before, "%.1f" % total_after, ratio]
+        )
+    return micro_rows, e2e_rows, regressions
+
+
+def _fmt(value):
+    return "-" if value is None else "%.3f" % value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline snapshot (BENCH_*.json)")
+    parser.add_argument("new", help="candidate snapshot (BENCH_*.json)")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail if any shared micro case slowed by more than this "
+        "fraction (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--cases",
+        nargs="*",
+        default=None,
+        help="restrict the --max-regression check to these micro cases",
+    )
+    args = parser.parse_args()
+
+    old, new = _load(args.old), _load(args.new)
+    micro_rows, e2e_rows, regressions = compare(old, new)
+    if micro_rows:
+        print(
+            render_table(
+                ["case", "old us/op", "new us/op", "speedup"],
+                micro_rows,
+                "Microbenchmarks: %s -> %s" % (args.old, args.new),
+            )
+        )
+    if e2e_rows:
+        print(
+            render_table(
+                ["figure", "old s", "new s", "speedup"],
+                e2e_rows,
+                "End-to-end (quick grid)",
+            )
+        )
+
+    if args.max_regression is not None:
+        watched = regressions
+        if args.cases:
+            watched = {
+                case: slip
+                for case, slip in regressions.items()
+                if case in args.cases
+            }
+        failed = {
+            case: slip
+            for case, slip in watched.items()
+            if slip > args.max_regression
+        }
+        if failed:
+            for case, slip in sorted(failed.items()):
+                print(
+                    "REGRESSION: %s slowed %.0f%% (limit %.0f%%)"
+                    % (case, 100 * slip, 100 * args.max_regression)
+                )
+            return 1
+        print(
+            "perf gate OK: no watched case regressed more than %.0f%%"
+            % (100 * args.max_regression)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,21 +27,16 @@ from repro.reliability.schemes import (
     SECDED_SCHEME,
     SYNERGY_SCHEME,
 )
-from repro.secure.designs import (
-    IVEC,
-    LOTECC,
-    NON_SECURE,
-    SGX,
-    SGX_O,
-    SGX_O_SPLIT,
-    SYNERGY,
-)
+from repro.secure.designs import ALL_DESIGNS
 from repro.sim.config import SystemConfig
 from repro.sim.runner import run_suite
 
-#: The grid the fixture pins: diverse designs (plain, Bonsai counter tree,
-#: split counters, MAC tree, parity RMW) x two workload personalities.
-GOLDEN_DESIGNS = (NON_SECURE, SGX, SGX_O, SGX_O_SPLIT, SYNERGY, IVEC, LOTECC)
+#: The grid the fixture pins: every design variant (plain, Bonsai counter
+#: tree, split counters, MAC tree, parity RMW, speculative verification,
+#: chipkill lock-step) x two workload personalities. Covering the full
+#: roster keeps the columnar fast paths and the scalar-oracle fallback
+#: honest for designs the figures do not exercise.
+GOLDEN_DESIGNS = tuple(ALL_DESIGNS)
 GOLDEN_WORKLOADS = ("mcf", "lbm")
 GOLDEN_ACCESSES_PER_CORE = 3_000
 
