@@ -6,18 +6,22 @@ Examples::
     synergy-repro fig8 --jobs 4               # fan grid cells over 4 processes
     synergy-repro fig11 --scale full          # reliability, full Monte-Carlo
     synergy-repro all --scale quick --no-cache  # everything, no result reuse
+    synergy-repro grid --designs SGX_O,Synergy --seeds 1,2  # ad-hoc IPC grid
+    synergy-repro serve --port 8642 --jobs 4  # long-running job service
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.analysis.sanitizer import ENV_VAR as SANITIZE_ENV, configure_sanitizer
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import EXPERIMENTS, run_experiment, run_spec
+from repro.harness.spec import GRID_EXPERIMENT, ExperimentSpec, SpecError
 from repro.harness.report import render_execution_stats, render_metrics_summary
 from repro.parallel import EXECUTION_STATS, default_jobs
 from repro.telemetry import (
@@ -39,8 +43,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", GRID_EXPERIMENT, "serve"],
+        help="which table/figure to regenerate; 'grid' runs an ad-hoc "
+        "design x workload IPC grid; 'serve' starts the job service",
     )
     parser.add_argument(
         "--scale",
@@ -82,6 +87,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default: REPRO_TRACE, if set)",
     )
     parser.add_argument(
+        "--designs",
+        default=None,
+        metavar="A,B",
+        help="(grid only) comma-separated design names to sweep",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="1,2",
+        help="(grid only) comma-separated trace seeds (default: canonical)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="(serve only) interface to bind",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="(serve only) TCP port to bind (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=0,
+        metavar="MB",
+        help="(serve only) LRU-evict the run cache down to this size "
+        "after each job (0 = unlimited)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="enable the runtime invariant sanitizer (same as REPRO_SANITIZE=1; "
@@ -99,8 +135,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out:
         configure_tracer(enabled=True, run_id=args.experiment)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     cache = False if args.no_cache else None
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == GRID_EXPERIMENT:
+        return _grid(args, cache)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     TELEMETRY_AGGREGATE.reset()
     for name in names:
         print("=" * 72)
@@ -130,6 +171,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out:
         count = get_tracer().write_jsonl(args.trace_out)
         print("[%d trace event(s) written to %s]" % (count, args.trace_out))
+    return 0
+
+
+def _comma_list(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _grid(args: argparse.Namespace, cache: Optional[bool]) -> int:
+    """Run an ad-hoc design x workload grid through the spec path."""
+    try:
+        seeds = tuple(int(item) for item in _comma_list(args.seeds))
+    except ValueError:
+        print("error: --seeds must be comma-separated integers", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        experiment=GRID_EXPERIMENT,
+        scale=args.scale or "default",
+        designs=tuple(_comma_list(args.designs)),
+        seeds=seeds,
+        jobs=args.jobs or 0,
+    )
+    EXECUTION_STATS.reset()
+    started = time.perf_counter()
+    try:
+        result = run_spec(spec, quiet=True, cache=cache)
+    except SpecError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(
+        "[grid %s finished in %.1fs]"
+        % (spec.cache_key()[:12], time.perf_counter() - started),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Start the long-running experiment job service."""
+    import asyncio
+
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        spec_jobs=args.jobs or 1,
+        cache_budget_bytes=max(0, args.cache_budget_mb) * (1 << 20),
+        cache=not args.no_cache,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        print("\n[service stopped]")
     return 0
 
 

@@ -8,11 +8,12 @@ reference values appear in each docstring; the reproduction targets the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.parallel import overridden
 from repro.harness.report import render_series, render_table
 from repro.harness.scales import Scale, resolve_scale
+from repro.harness.spec import GRID_EXPERIMENT, ExperimentSpec
 from repro.reliability.analytical import (
     effective_mac_strength_bits,
     sdc_estimate,
@@ -30,6 +31,7 @@ from repro.reliability.schemes import (
 )
 from repro.secure.designs import (
     ALL_DESIGNS,
+    design_by_name,
     IVEC,
     LOTECC,
     LOTECC_COALESCED,
@@ -549,6 +551,67 @@ def selfcheck_experiment(quiet: bool = False) -> Dict[str, str]:
     return selfcheck(quiet=quiet)
 
 
+# ---------------------------------------------------------------------------
+# Custom design grid (the service's parameterised experiment)
+# ---------------------------------------------------------------------------
+
+
+def grid_experiment(
+    scale: object = None,
+    designs: Sequence[str] = (),
+    seeds: Sequence[int] = (),
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Run an arbitrary design subset over the scale's workload suite.
+
+    This is the ``grid`` experiment of :class:`~repro.harness.spec.
+    ExperimentSpec`: unlike the paper figures it takes an explicit design
+    list and optional trace-seed overrides (each seed re-synthesises every
+    workload trace from a distinct stream), so clients can request design
+    comparisons the paper never plotted. Speedups are normalised to the
+    first design named.
+    """
+    scale = resolve_scale(scale)
+    named = [design_by_name(name) for name in designs]
+    if not named:
+        raise ValueError("grid_experiment requires at least one design")
+    workloads = _workloads(scale)
+    config = _config(scale)
+    baseline = named[0].name
+    runs: Dict[str, Dict[str, object]] = {}
+    for seed in tuple(seeds) or (None,):
+        table = run_suite(named, workloads, config, seed=seed)
+        run_label = "default" if seed is None else "seed=%d" % seed
+        speedups = {
+            design.name: table.gmean_speedup(design.name, baseline)
+            for design in named
+        }
+        runs[run_label] = {
+            "ipc": {
+                design.name: {
+                    workload: table.get(design.name, workload).ipc
+                    for workload in table.workloads()
+                }
+                for design in named
+            },
+            "gmean_speedup": speedups,
+        }
+        if not quiet:
+            print(
+                render_table(
+                    ["design", "gmean IPC vs %s" % baseline],
+                    [[name, value] for name, value in speedups.items()],
+                    "Grid (%s, %s)" % (scale.name, run_label),
+                )
+            )
+    return {
+        "designs": [design.name for design in named],
+        "scale": scale.name,
+        "baseline": baseline,
+        "runs": runs,
+    }
+
+
 EXPERIMENTS = {
     "selfcheck": selfcheck_experiment,
     "fig6": fig6,
@@ -572,6 +635,40 @@ EXPERIMENTS = {
 UNSCALED = {"table1", "table2", "table3", "sdc", "correction_latency", "selfcheck"}
 
 
+def run_spec(
+    spec: ExperimentSpec,
+    quiet: bool = True,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+) -> object:
+    """Run one validated :class:`ExperimentSpec` (the service's entry point).
+
+    ``jobs`` (explicit argument > ``spec.jobs`` > process default) and
+    ``cache`` steer the fan-out and run-cache policy for every
+    ``run_suite``/Monte-Carlo call the experiment makes. The returned
+    payload is JSON-able for every registered experiment.
+    """
+    spec = spec.validated()
+    changes: Dict[str, object] = {}
+    effective_jobs = jobs if jobs is not None else (spec.jobs or None)
+    if effective_jobs is not None:
+        changes["jobs"] = max(1, int(effective_jobs))
+    if cache is not None:
+        changes["cache_enabled"] = bool(cache)
+    with overridden(**changes):
+        if spec.experiment == GRID_EXPERIMENT:
+            return grid_experiment(
+                resolve_scale(spec.scale),
+                designs=spec.designs,
+                seeds=spec.seeds,
+                quiet=quiet,
+            )
+        function = EXPERIMENTS[spec.experiment]
+        if spec.experiment in UNSCALED:
+            return function(quiet=quiet)
+        return function(resolve_scale(spec.scale), quiet=quiet)
+
+
 def run_experiment(
     name: str,
     scale: object = None,
@@ -581,18 +678,10 @@ def run_experiment(
 ) -> object:
     """Run one registered experiment under an execution-context override.
 
-    ``jobs``/``cache`` steer the fan-out and run-cache policy for every
-    ``run_suite``/Monte-Carlo call the experiment makes (``None`` keeps
-    the process defaults). This is the single entry point the CLI,
-    ``tools/run_experiments.py`` and ``tools/bench_snapshot.py`` share.
+    A thin wrapper that normalises ``(name, scale)`` into an
+    :class:`ExperimentSpec` and defers to :func:`run_spec`, so the CLI,
+    ``tools/run_experiments.py``, ``tools/bench_snapshot.py`` and the
+    experiment service all execute requests through one validated path.
     """
-    function = EXPERIMENTS[name]
-    changes: Dict[str, object] = {}
-    if jobs is not None:
-        changes["jobs"] = max(1, int(jobs))
-    if cache is not None:
-        changes["cache_enabled"] = bool(cache)
-    with overridden(**changes):
-        if name in UNSCALED:
-            return function(quiet=quiet)
-        return function(resolve_scale(scale), quiet=quiet)
+    spec = ExperimentSpec(experiment=name, scale=resolve_scale(scale).name)
+    return run_spec(spec, quiet=quiet, jobs=jobs, cache=cache)

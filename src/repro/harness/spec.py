@@ -1,0 +1,198 @@
+"""The canonical experiment specification: one schema for CLI, service, cache.
+
+An :class:`ExperimentSpec` names everything that determines an experiment's
+*result*: the experiment (a figure/table from ``harness.experiments`` or the
+custom ``grid``), the scale preset, and — for ``grid`` — the design list and
+trace-seed overrides. ``jobs`` rides along as an execution hint but is
+excluded from the identity key, because results are bit-identical at any
+worker count (the PR 1 determinism guarantee).
+
+The spec round-trips through JSON (``to_payload``/``from_payload``) with
+strict validation, so the HTTP service, the CLI and the run cache all agree
+on what a request *is* — and :meth:`cache_key` gives the same
+content-addressed identity the run cache uses, which is what makes request
+coalescing and spec-level result caching safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Tuple
+
+SCALE_NAMES: Tuple[str, ...] = ("quick", "default", "full")
+
+#: The custom design-grid experiment (not in ``EXPERIMENTS``: it takes a
+#: design list and seed overrides, which the paper figures do not).
+GRID_EXPERIMENT = "grid"
+
+_PAYLOAD_KEYS = ("experiment", "scale", "designs", "seeds", "jobs")
+
+_MAX_DESIGNS = 32
+_MAX_SEEDS = 64
+
+
+class SpecError(ValueError):
+    """A spec payload failed validation (HTTP 400 territory)."""
+
+
+def known_experiments() -> Tuple[str, ...]:
+    """Every valid ``experiment`` value (registry figures + ``grid``)."""
+    from repro.harness.experiments import EXPERIMENTS
+
+    return tuple(sorted(EXPERIMENTS)) + (GRID_EXPERIMENT,)
+
+
+def _unscaled_experiments() -> Tuple[str, ...]:
+    from repro.harness.experiments import UNSCALED
+
+    return tuple(sorted(UNSCALED))
+
+
+def _known_designs() -> Tuple[str, ...]:
+    from repro.secure.designs import ALL_DESIGNS
+
+    return tuple(design.name for design in ALL_DESIGNS)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One validated experiment request (figure x scale x designs x seeds)."""
+
+    experiment: str
+    scale: str = "default"
+    designs: Tuple[str, ...] = ()
+    seeds: Tuple[int, ...] = ()
+    #: Worker processes for the spec's grid/shard fan-out; 0 defers to the
+    #: executing process's :class:`~repro.parallel.ExecutionContext`.
+    #: Excluded from :meth:`cache_key` — results are jobs-invariant.
+    jobs: int = 0
+
+    def validated(self) -> "ExperimentSpec":
+        """This spec, normalised, or raise :class:`SpecError`.
+
+        Normalisation: unscaled experiments (pure tables/arithmetic) pin
+        ``scale`` to ``default`` so e.g. ``table1@quick`` and
+        ``table1@full`` coalesce onto one key.
+        """
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise SpecError("spec.experiment must be a non-empty string")
+        if self.experiment not in known_experiments():
+            raise SpecError(
+                "unknown experiment %r (valid: %s)"
+                % (self.experiment, ", ".join(known_experiments()))
+            )
+        if self.scale not in SCALE_NAMES:
+            raise SpecError(
+                "unknown scale %r (valid: %s)" % (self.scale, "/".join(SCALE_NAMES))
+            )
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+            raise SpecError("spec.jobs must be an integer")
+        if self.jobs < 0:
+            raise SpecError("spec.jobs must be >= 0")
+        for name in self.designs:
+            if not isinstance(name, str):
+                raise SpecError("spec.designs entries must be strings")
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise SpecError("spec.seeds entries must be integers")
+        if self.experiment == GRID_EXPERIMENT:
+            if not self.designs:
+                raise SpecError("grid specs require a non-empty designs list")
+            if len(self.designs) > _MAX_DESIGNS:
+                raise SpecError("too many designs (max %d)" % _MAX_DESIGNS)
+            if len(self.seeds) > _MAX_SEEDS:
+                raise SpecError("too many seeds (max %d)" % _MAX_SEEDS)
+            if len(set(self.designs)) != len(self.designs):
+                raise SpecError("duplicate design names in spec.designs")
+            if len(set(self.seeds)) != len(self.seeds):
+                raise SpecError("duplicate seeds in spec.seeds")
+            known = _known_designs()
+            for name in self.designs:
+                if name not in known:
+                    raise SpecError(
+                        "unknown design %r (valid: %s)" % (name, ", ".join(known))
+                    )
+        else:
+            if self.designs:
+                raise SpecError(
+                    "experiment %r takes no designs (only 'grid' does)"
+                    % self.experiment
+                )
+            if self.seeds:
+                raise SpecError(
+                    "experiment %r takes no seeds (only 'grid' does)"
+                    % self.experiment
+                )
+        if self.experiment in _unscaled_experiments() and self.scale != "default":
+            return replace(self, scale="default")
+        return self
+
+    # -- identity -----------------------------------------------------------
+
+    def identity(self) -> Dict[str, object]:
+        """The result-determining fields (everything except ``jobs``)."""
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "designs": list(self.designs),
+            "seeds": list(self.seeds),
+        }
+
+    def cache_key(self) -> str:
+        """Content address of this spec's result (run-cache compatible).
+
+        Shares :func:`repro.parallel.cache_key`, so the key covers the code
+        fingerprint too: a simulator change invalidates service-cached
+        figures exactly as it invalidates per-cell run-cache entries.
+        """
+        from repro.parallel import cache_key
+
+        return cache_key("experiment_spec", **self.identity())
+
+    # -- JSON round-trip ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict form; ``from_payload`` inverts it exactly."""
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "designs": list(self.designs),
+            "seeds": list(self.seeds),
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        """Parse and validate an untrusted payload (service submissions)."""
+        if not isinstance(payload, Mapping):
+            raise SpecError("spec payload must be a JSON object")
+        unknown = sorted(set(payload) - set(_PAYLOAD_KEYS))
+        if unknown:
+            raise SpecError("unknown spec field(s): %s" % ", ".join(unknown))
+        if "experiment" not in payload:
+            raise SpecError("spec payload requires an 'experiment' field")
+        experiment = payload["experiment"]
+        scale = payload.get("scale", "default")
+        if not isinstance(experiment, str):
+            raise SpecError("spec.experiment must be a string")
+        if not isinstance(scale, str):
+            raise SpecError("spec.scale must be a string")
+        designs_raw = payload.get("designs", ())
+        seeds_raw = payload.get("seeds", ())
+        if isinstance(designs_raw, str) or not isinstance(
+            designs_raw, (list, tuple)
+        ):
+            raise SpecError("spec.designs must be a list of design names")
+        if isinstance(seeds_raw, str) or not isinstance(seeds_raw, (list, tuple)):
+            raise SpecError("spec.seeds must be a list of integers")
+        jobs = payload.get("jobs", 0)
+        if not isinstance(jobs, int) or isinstance(jobs, bool):
+            raise SpecError("spec.jobs must be an integer")
+        spec = cls(
+            experiment=experiment,
+            scale=scale,
+            designs=tuple(designs_raw),
+            seeds=tuple(seeds_raw),
+            jobs=jobs,
+        )
+        return spec.validated()

@@ -36,12 +36,19 @@ def parallel_map(
     jobs: int = 1,
     labels: Optional[Sequence[str]] = None,
     stats: Optional[ExecutionStats] = None,
+    progress: Optional[Callable[[int, str, _R, float], None]] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``items`` with ``jobs`` processes, submission-ordered.
 
     ``jobs <= 1`` (or a single item) runs inline in this process — the
     serial path and the parallel path execute the identical per-item code,
     which is what makes the golden determinism tests meaningful.
+
+    ``progress``, when given, is called in the *parent* process as each
+    item's result lands — ``progress(index, label, result, seconds)`` — in
+    submission order regardless of completion order, so progress feeds are
+    deterministic at any worker count. A ``progress`` exception aborts the
+    map (the streaming-cancellation hook).
     """
     items = list(items)
     if labels is None:
@@ -51,23 +58,29 @@ def parallel_map(
 
     span_started = time.perf_counter()
     outputs: List[_R] = []
-    if workers <= 1:
-        for item, label in zip(items, labels):
-            result, elapsed = _timed_call((fn, item))
-            stats.record_cell(label, elapsed)
-            outputs.append(result)
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        tasks = [(fn, item) for item in items]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map yields in submission order regardless of which
-            # worker finishes first: the deterministic-merge guarantee.
-            for label, (result, elapsed) in zip(
-                labels, pool.map(_timed_call, tasks)
-            ):
+    try:
+        if workers <= 1:
+            for index, (item, label) in enumerate(zip(items, labels)):
+                result, elapsed = _timed_call((fn, item))
                 stats.record_cell(label, elapsed)
                 outputs.append(result)
-    if items:
-        stats.record_map(workers, time.perf_counter() - span_started)
+                if progress is not None:
+                    progress(index, label, result, elapsed)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            tasks = [(fn, item) for item in items]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map yields in submission order regardless of which
+                # worker finishes first: the deterministic-merge guarantee.
+                for index, (label, (result, elapsed)) in enumerate(
+                    zip(labels, pool.map(_timed_call, tasks))
+                ):
+                    stats.record_cell(label, elapsed)
+                    outputs.append(result)
+                    if progress is not None:
+                        progress(index, label, result, elapsed)
+    finally:
+        if items:
+            stats.record_map(workers, time.perf_counter() - span_started)
     return outputs

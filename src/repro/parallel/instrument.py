@@ -27,6 +27,8 @@ class ExecutionStats:
         self._registry = MetricsRegistry(enabled=True)
         self._hits = self._registry.counter("exec.cache_hits")
         self._misses = self._registry.counter("exec.cache_misses")
+        self._corrupt = self._registry.counter("exec.cache_corrupt")
+        self._evictions = self._registry.counter("exec.cache_evictions")
         self._cell_timer = self._registry.timer("exec.cell_seconds")
         self._span_timer = self._registry.timer("exec.span_seconds")
         self._capacity_timer = self._registry.timer("exec.capacity_seconds")
@@ -49,6 +51,12 @@ class ExecutionStats:
     def record_cache_miss(self, label: str = "") -> None:
         self._misses.inc()
 
+    def record_cache_corrupt(self, label: str = "") -> None:
+        self._corrupt.inc()
+
+    def record_cache_eviction(self, label: str = "") -> None:
+        self._evictions.inc()
+
     def record_cell(self, label: str, seconds: float) -> None:
         self.cell_times.append((label, seconds))
         self._cell_timer.record(seconds)
@@ -69,6 +77,16 @@ class ExecutionStats:
     def cache_misses(self) -> int:
         """Cells that missed the run cache."""
         return int(self._misses.value)
+
+    @property
+    def cache_corrupt(self) -> int:
+        """Cache entries found unreadable and quarantined (counted as misses)."""
+        return int(self._corrupt.value)
+
+    @property
+    def cache_evictions(self) -> int:
+        """Cache entries evicted by size-budget enforcement."""
+        return int(self._evictions.value)
 
     @property
     def cells_executed(self) -> int:
@@ -106,6 +124,8 @@ class ExecutionStats:
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_corrupt": self.cache_corrupt,
+            "cache_evictions": self.cache_evictions,
             "cells_executed": self.cells_executed,
             "busy_seconds": round(self.busy_seconds, 3),
             "span_seconds": round(self.span_seconds, 3),

@@ -112,16 +112,38 @@ class RunCache:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, key: str, label: str = "") -> Optional[object]:
-        """The cached payload for ``key``, or ``None`` (counts hit/miss)."""
+        """The cached payload for ``key``, or ``None`` (counts hit/miss).
+
+        A *corrupt* entry — the file exists but does not parse, or parses
+        to something without a ``payload`` — is treated as a miss, counted
+        separately (``exec.cache_corrupt``), and deleted so a writer killed
+        mid-flight (or a bad disk) can never poison later runs. Hits are
+        touched (mtime) so size-budgeted eviction is LRU, not FIFO.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
+                raw = handle.read()
+        except OSError:
             self._stats.record_cache_miss(label)
             return None
+        try:
+            entry = json.loads(raw)
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError):
+            self._stats.record_cache_corrupt(label)
+            self._stats.record_cache_miss(label)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass  # lost a race with another process's cleanup
+            return None
         self._stats.record_cache_hit(label)
-        return entry["payload"]
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # entry may have been evicted concurrently; hit still valid
+        return payload
 
     def put(self, key: str, payload: object) -> None:
         """Store one cell result (atomic rename; concurrent-writer safe)."""
@@ -139,6 +161,57 @@ class RunCache:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
+
+    def entries(self) -> list:
+        """Every entry as ``(mtime, size_bytes, path)``, oldest first.
+
+        Ties on mtime break on path, so the eviction order is stable across
+        processes and filesystems with coarse timestamps.
+        """
+        found = []
+        if not os.path.isdir(self.root):
+            return found
+        for directory, _dirs, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue  # deleted under us: not an entry any more
+                found.append((info.st_mtime, info.st_size, path))
+        found.sort(key=lambda item: (item[0], item[2]))
+        return found
+
+    def size_bytes(self) -> int:
+        """Total on-disk payload size across all entries."""
+        return sum(size for _mtime, size, _path in self.entries())
+
+    def enforce_budget(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the cache fits the budget.
+
+        Returns how many entries were removed (each counted via
+        ``exec.cache_evictions``). ``max_bytes <= 0`` means unlimited. Safe
+        against concurrent writers: an entry that disappears mid-scan is
+        simply skipped.
+        """
+        if max_bytes <= 0:
+            return 0
+        listing = self.entries()
+        total = sum(size for _mtime, size, _path in listing)
+        evicted = 0
+        for _mtime, size, path in listing:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # another process evicted it first
+            total -= size
+            evicted += 1
+            self._stats.record_cache_eviction()
+        return evicted
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -1,0 +1,158 @@
+"""Blocking stdlib client for the experiment service.
+
+Built on ``http.client`` (the issue forbids serving with ``http.server``;
+the *client* side of the stdlib HTTP stack is fair game). One connection
+per call matches the server's ``Connection: close`` policy and keeps the
+client safe to share across threads — the load-test harness drives one
+:class:`ServiceClient` from dozens of submitter threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.ExperimentService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout_s: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+
+    # -- raw transport --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            encoded: Optional[bytes] = None
+            headers: Dict[str, str] = {}
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _json(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Dict[str, object]:
+        status, raw = self._request(method, path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(status, "unparseable response body")
+        if status >= 400:
+            message = ""
+            if isinstance(payload, dict):
+                message = str(payload.get("error", ""))
+            raise ServiceError(status, message or raw.decode("utf-8", "replace"))
+        if not isinstance(payload, dict):
+            raise ServiceError(status, "expected a JSON object response")
+        return payload
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        try:
+            payload = self._json("GET", "/v1/healthz")
+        except (ServiceError, OSError):
+            return False
+        return bool(payload.get("ok"))
+
+    def wait_ready(self, timeout_s: float = 10.0) -> bool:
+        """Poll ``/v1/healthz`` until it answers (or the timeout passes)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.healthz():
+                return True
+            time.sleep(0.05)
+        return self.healthz()
+
+    def submit(self, spec: Mapping[str, object]) -> Dict[str, object]:
+        """Submit one spec; returns ``{id, key, disposition, state}``."""
+        return self._json("POST", "/v1/jobs", body=dict(spec))
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", "/v1/jobs/%s" % job_id)
+
+    def events(
+        self, job_id: str, since: int = 0, wait_s: float = 0.0
+    ) -> Dict[str, object]:
+        return self._json(
+            "GET",
+            "/v1/jobs/%s/events?since=%d&wait_s=%s" % (job_id, since, wait_s),
+        )
+
+    def stream_events(
+        self, job_id: str, poll_wait_s: float = 5.0, max_wait_s: float = 600.0
+    ) -> List[Dict[str, object]]:
+        """Long-poll the event feed until the job ends; returns all events."""
+        collected: List[Dict[str, object]] = []
+        deadline = time.monotonic() + max_wait_s
+        while time.monotonic() < deadline:
+            page = self.events(job_id, since=len(collected), wait_s=poll_wait_s)
+            events = page.get("events")
+            if isinstance(events, list):
+                collected.extend(events)
+            state = page.get("state")
+            if state in ("done", "failed", "cancelled"):
+                return collected
+        raise TimeoutError("job %s still running after %.0fs" % (job_id, max_wait_s))
+
+    def result_bytes(self, job_id: str, max_wait_s: float = 600.0) -> bytes:
+        """The job's exact result bytes, blocking until it completes."""
+        deadline = time.monotonic() + max_wait_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("job %s timed out" % job_id)
+            wait_s = min(30.0, remaining)
+            status, raw = self._request(
+                "GET", "/v1/jobs/%s/result?wait_s=%s" % (job_id, wait_s)
+            )
+            if status == 200:
+                return raw
+            if status == 408:
+                continue  # long-poll expired while the job was still running
+            message = raw.decode("utf-8", "replace")
+            try:
+                parsed = json.loads(message)
+                if isinstance(parsed, dict) and "error" in parsed:
+                    message = str(parsed["error"])
+            except ValueError:
+                pass  # non-JSON error body; report it verbatim
+            raise ServiceError(status, message)
+
+    def result(self, job_id: str, max_wait_s: float = 600.0) -> object:
+        """The job's result decoded from JSON."""
+        return json.loads(self.result_bytes(job_id, max_wait_s).decode("utf-8"))
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("POST", "/v1/jobs/%s/cancel" % job_id)
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/stats")

@@ -1,0 +1,132 @@
+"""Worker bridge: runs queued jobs off the event loop, one at a time.
+
+The simulator stack keeps deliberate process-global state — the execution
+context (``overridden``), :data:`~repro.parallel.EXECUTION_STATS` and the
+in-process run memo — none of which is thread-safe. So the bridge executes
+specs on a **single** dedicated thread; service concurrency comes from the
+three dedup tiers in :class:`~repro.service.jobs.JobManager` plus the
+per-spec *process* fan-out (``jobs=N``) inside each simulation.
+
+Progress events raised by the runner on the worker thread are marshalled
+to the event loop with ``call_soon_threadsafe``; the same callback checks
+the job's cancel flag, so cancellation is cooperative at cell granularity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import traceback
+from typing import Dict, Optional
+
+from repro.harness.experiments import run_spec
+from repro.service.jobs import (
+    Job,
+    JobCancelled,
+    JobManager,
+    canonical_result_bytes,
+)
+from repro.sim.runner import cell_progress
+
+
+class WorkerBridge:
+    """Drains the job queue through one executor thread."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        spec_jobs: int = 1,
+        cache_budget_bytes: int = 0,
+    ) -> None:
+        self.manager = manager
+        #: Default process fan-out for specs that don't pin their own.
+        self.spec_jobs = max(1, int(spec_jobs))
+        #: On-disk cache budget enforced after each run (0 = unlimited).
+        self.cache_budget_bytes = max(0, int(cache_budget_bytes))
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-worker"
+        )
+        self._task: Optional["asyncio.Task[None]"] = None
+
+    def start(self) -> None:
+        """Begin draining the queue (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop the drain loop and release the worker thread."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self._executor.shutdown(wait=False)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self.manager.queue.get()
+            if job.terminal:
+                continue  # cancelled while queued
+            self.manager.start(job)
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, self._execute, job, loop
+                )
+            except asyncio.CancelledError:
+                raise
+            except JobCancelled:
+                self.manager.finalize_cancel(job)
+                continue
+            except Exception as exc:  # lint-ok: H301 job isolation — one bad
+                # spec must fail its own job, not take down the service loop.
+                detail = "%s: %s" % (type(exc).__name__, exc)
+                self.manager.fail(job, detail)
+                job.record_event(
+                    "traceback",
+                    {"text": traceback.format_exc(limit=8)},
+                )
+                continue
+            self.manager.finish(job, canonical_result_bytes(payload))
+            if self.cache_budget_bytes > 0 and self.manager.run_cache is not None:
+                await loop.run_in_executor(
+                    self._executor,
+                    self.manager.run_cache.enforce_budget,
+                    self.cache_budget_bytes,
+                )
+
+    # -- worker-thread body ---------------------------------------------------
+
+    def _execute(self, job: Job, loop: asyncio.AbstractEventLoop) -> object:
+        """Run one spec on the worker thread; returns its raw payload.
+
+        Raises :class:`JobCancelled` as soon as the cancel flag is observed
+        (checked at every progress event, i.e. at cell granularity).
+        """
+        if job.cancel_flag_set():
+            raise JobCancelled(job.id)
+
+        def on_progress(event: Dict[str, object]) -> None:
+            if job.cancel_flag_set():
+                raise JobCancelled(job.id)
+            loop.call_soon_threadsafe(self.manager.record_progress, job, event)
+
+        with cell_progress(on_progress):
+            payload = run_spec(
+                job.spec,
+                quiet=True,
+                jobs=job.spec.jobs or self.spec_jobs,
+            )
+        if job.cancel_flag_set():
+            raise JobCancelled(job.id)
+        if self.manager.run_cache is not None:
+            self.manager.run_cache.put(job.key, _jsonable(payload))
+        return payload
+
+
+def _jsonable(payload: object) -> object:
+    """Defensive JSON round-trip before persisting a spec result."""
+    return json.loads(json.dumps(payload))

@@ -11,8 +11,10 @@ but is simulated once per code version.
 
 from __future__ import annotations
 
+import contextlib
 import json
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import threading
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.analysis.sanitizer import get_sanitizer
 from repro.cpu.trace import Trace
@@ -28,10 +30,67 @@ from repro.sim.config import SystemConfig
 from repro.sim.energy import SystemEnergyParams, system_energy
 from repro.sim.results import ResultTable, RunResult
 from repro.sim.system import SystemSimulator
-from repro.telemetry import TELEMETRY_AGGREGATE, cell_scope, get_tracer
+from repro.telemetry import (
+    TELEMETRY_AGGREGATE,
+    MetricsSnapshot,
+    cell_scope,
+    get_tracer,
+)
 from repro.workloads.generator import generate_trace
 from repro.workloads.mixes import MIXES
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
+
+
+#: One progress event: plain JSON-able dict. Kinds emitted by run_suite:
+#: ``suite`` (total cells, pending count) once per call, then one ``cell``
+#: per finished cell — label, done/total counters, whether it was a cache
+#: hit, worker seconds, and the cell's deterministic telemetry headline.
+ProgressCallback = Callable[[Dict[str, object]], None]
+
+#: Per-thread progress hook. Thread-local (not a plain global) because the
+#: experiment service runs specs on an executor thread while other threads
+#: may run their own suites; each installation only ever sees its own
+#: thread's cells.
+_PROGRESS = threading.local()
+
+
+@contextlib.contextmanager
+def cell_progress(callback: Optional[ProgressCallback]) -> Iterator[None]:
+    """Install ``callback`` as this thread's progress hook for the block.
+
+    Every ``run_suite`` call on this thread (however deep inside an
+    experiment function) streams its per-cell completion events through the
+    callback — the mechanism the experiment service uses for live job
+    progress. Events arrive in deterministic order (grid-scan order for
+    cache hits, submission order for executed cells) at any ``jobs`` count.
+    An exception raised by the callback aborts the suite — cooperative
+    cancellation.
+    """
+    previous = getattr(_PROGRESS, "callback", None)
+    _PROGRESS.callback = callback
+    try:
+        yield
+    finally:
+        _PROGRESS.callback = previous
+
+
+def emit_progress(event: Dict[str, object]) -> None:
+    """Send one event through this thread's progress hook, if installed.
+
+    Public so long-running experiments outside ``run_suite`` (Monte-Carlo
+    sweeps, custom loops) can report progress and observe cancellation.
+    """
+    callback = getattr(_PROGRESS, "callback", None)
+    if callback is not None:
+        callback(dict(event))
+
+
+def _active_progress(
+    explicit: Optional[ProgressCallback],
+) -> Optional[ProgressCallback]:
+    if explicit is not None:
+        return explicit
+    return getattr(_PROGRESS, "callback", None)
 
 
 #: Process-local memo for generated traces. Grid runs regenerate the same
@@ -117,11 +176,17 @@ _WARM_MEMO: Dict[Tuple[object, ...], Tuple[list, list]] = {}
 _WARM_MEMO_MAX = 64
 
 
-def _warm_key(design: SecureDesign, label: str, config: SystemConfig):
+def _warm_key(
+    design: SecureDesign,
+    label: str,
+    config: SystemConfig,
+    seed: Optional[int],
+):
     """Memo key: everything the post-warmup cache state depends on."""
     caches = config.caches
     return (
         label,
+        seed,
         config.num_cores,
         config.accesses_per_core,
         config.lines_per_core,
@@ -147,9 +212,10 @@ def _warm_simulator(
     label: str,
     config: SystemConfig,
     warmup_traces: List[Trace],
+    seed: Optional[int] = None,
 ) -> None:
     """Warm ``sim``'s caches, through the memo when a snapshot exists."""
-    key = _warm_key(design, label, config)
+    key = _warm_key(design, label, config, seed)
     cached = _WARM_MEMO.get(key)
     llc_sets = sim.hierarchy.llc._sets
     md_sets = sim.hierarchy.metadata_cache._sets
@@ -203,6 +269,7 @@ def run_workload(
     workload: Union[str, WorkloadProfile],
     config: SystemConfig = SystemConfig(),
     energy_params: Optional[SystemEnergyParams] = None,
+    seed: Optional[int] = None,
 ) -> RunResult:
     """Simulate one (design, workload) pair and package the result.
 
@@ -210,16 +277,22 @@ def run_workload(
     component constructed here registers into a fresh per-cell registry,
     and the snapshot rides on :attr:`RunResult.telemetry` — into the run
     cache and back across process-pool boundaries.
+
+    ``seed`` re-salts the trace-synthesis streams (``None`` keeps the
+    default salts): the ``grid`` experiment's way of asking for replicate
+    runs over distinct, fully deterministic trace realisations.
     """
-    label, traces = _traces_for(workload, config)
-    _label, warmup_traces = _traces_for(workload, config, seed_salt="warmup")
+    trace_salt: object = "trace" if seed is None else ("trace", seed)
+    warmup_salt: object = "warmup" if seed is None else ("warmup", seed)
+    label, traces = _traces_for(workload, config, trace_salt)
+    _label, warmup_traces = _traces_for(workload, config, seed_salt=warmup_salt)
     cell = "%s/%s" % (design.name, label)
     tracer = get_tracer()
     with cell_scope(cell=cell) as registry:
         tracer.emit("cell_start", design=design.name, workload=label)
         sim = SystemSimulator(design, traces, config)
         if config.warm_caches and warmup_traces:
-            _warm_simulator(sim, design, label, config, warmup_traces)
+            _warm_simulator(sim, design, label, config, warmup_traces, seed)
         sim.run()
         energy = system_energy(sim, energy_params or SystemEnergyParams())
         tracer.emit(
@@ -260,6 +333,7 @@ def _cell_key(
     workload: Union[str, WorkloadProfile],
     config: SystemConfig,
     energy_params: Optional[SystemEnergyParams],
+    seed: Optional[int] = None,
 ) -> str:
     """Content address of one grid cell (see repro.parallel.runcache)."""
     return cache_key(
@@ -268,6 +342,7 @@ def _cell_key(
         workload=workload,
         config=config,
         energy=energy_params or SystemEnergyParams(),
+        seed=seed,
     )
 
 
@@ -277,11 +352,32 @@ def _run_cell(
         Union[str, WorkloadProfile],
         SystemConfig,
         Optional[SystemEnergyParams],
+        Optional[int],
     ]
 ) -> RunResult:
     """Module-level worker entry so cells pickle into pool processes."""
-    design, workload, config, energy_params = task
-    return run_workload(design, workload, config, energy_params)
+    design, workload, config, energy_params, seed = task
+    return run_workload(design, workload, config, energy_params, seed)
+
+
+def _cell_event(
+    label: str,
+    done: int,
+    total: int,
+    cached: bool,
+    seconds: float,
+    result: RunResult,
+) -> Dict[str, object]:
+    """One ``cell`` progress event (headline metrics are deterministic)."""
+    return {
+        "kind": "cell",
+        "label": label,
+        "done": done,
+        "total": total,
+        "cached": cached,
+        "seconds": round(seconds, 6),
+        "headline": MetricsSnapshot.from_payload(result.telemetry).headline(),
+    }
 
 
 def run_suite(
@@ -291,6 +387,8 @@ def run_suite(
     energy_params: Optional[SystemEnergyParams] = None,
     jobs: Optional[int] = None,
     cache: Union[None, bool, str, RunCache] = None,
+    seed: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
     """Run every design on every workload, fanned over ``jobs`` processes.
 
@@ -298,22 +396,32 @@ def run_suite(
     ``--jobs`` / ``--no-cache``, or ``REPRO_JOBS`` / ``REPRO_CACHE``).
     Results are returned in grid order — designs outer, workloads inner —
     whatever the completion order, and are bit-identical to a serial run.
+
+    ``seed`` re-salts trace synthesis per cell (see :func:`run_workload`).
+    ``progress`` (or the thread's :func:`cell_progress` hook) receives one
+    ``suite`` event, then one ``cell`` event per finished cell: cache hits
+    in grid-scan order, executed cells in submission order — the same
+    sequence at any ``jobs`` count, modulo the wall-clock ``seconds``
+    field. A callback exception aborts the suite (cancellation).
     """
     designs = list(designs)
     workloads = list(workloads)
     jobs = resolve_jobs(jobs)
     run_cache = resolve_cache(cache)
+    progress = _active_progress(progress)
 
     cells = [(design, workload) for design in designs for workload in workloads]
+    total = len(cells)
     # The in-process memo stands down under the sanitizer: sanitize runs
     # recompute every cell so check_cached_payload exercises the full path.
     memo_on = get_sanitizer() is None
     finished = {}
+    hits = []
     pending = []
     for design, workload in cells:
         label = "%s/%s" % (design.name, _workload_label(workload))
         key = (
-            _cell_key(design, workload, config, energy_params)
+            _cell_key(design, workload, config, energy_params, seed)
             if run_cache is not None or memo_on
             else None
         )
@@ -321,9 +429,9 @@ def run_suite(
             serialized = _RUN_MEMO.get(key)
             if serialized is not None:
                 EXECUTION_STATS.record_cache_hit(label)
-                finished[(design, workload)] = RunResult.from_payload(
-                    json.loads(serialized)
-                )
+                result = RunResult.from_payload(json.loads(serialized))
+                finished[(design, workload)] = result
+                hits.append((label, result))
                 continue
         if key is not None and run_cache is not None:
             payload = run_cache.get(key, label=label)
@@ -334,24 +442,45 @@ def run_suite(
                         label,
                         payload,
                         lambda d=design, w=workload: run_workload(
-                            d, w, config, energy_params
+                            d, w, config, energy_params, seed
                         ).to_payload(),
                     )
                 elif len(_RUN_MEMO) < _RUN_MEMO_MAX:
                     _RUN_MEMO[key] = json.dumps(payload)
-                finished[(design, workload)] = RunResult.from_payload(payload)
+                result = RunResult.from_payload(payload)
+                finished[(design, workload)] = result
+                hits.append((label, result))
                 continue
         pending.append(((design, workload), key, label))
 
+    done = 0
+    if progress is not None:
+        progress(
+            {"kind": "suite", "total": total, "pending": len(pending)}
+        )
+        for label, result in hits:
+            done += 1
+            progress(_cell_event(label, done, total, True, 0.0, result))
+
     if pending:
+        cell_progress_cb = None
+        if progress is not None:
+            emit = progress  # bind for the closure; progress stays Optional
+
+            def cell_progress_cb(index, label, result, elapsed):
+                nonlocal done
+                done += 1
+                emit(_cell_event(label, done, total, False, elapsed, result))
+
         results = parallel_map(
             _run_cell,
             [
-                (design, workload, config, energy_params)
+                (design, workload, config, energy_params, seed)
                 for (design, workload), _key, _label in pending
             ],
             jobs=jobs,
             labels=[label for _cell, _key, label in pending],
+            progress=cell_progress_cb,
         )
         for (cell, key, _label), result in zip(pending, results):
             finished[cell] = result

@@ -1,0 +1,298 @@
+"""Service-plane behaviour: coalescing, cancellation, eviction, progress.
+
+These tests run the real :class:`ExperimentService` on a background thread
+with an ephemeral port and a per-test cache dir. Slow-experiment control
+uses a monkeypatched entry in ``EXPERIMENTS`` gated on ``threading.Event``
+so tests release the worker deterministically instead of sleeping.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.harness import experiments as experiments_module
+from repro.parallel.instrument import ExecutionStats
+from repro.parallel.runcache import RunCache
+from repro.service import (
+    ExperimentService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    canonical_result_bytes,
+)
+from repro.sim.runner import emit_progress
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Build background services sharing one per-test cache dir."""
+    cache_dir = str(tmp_path / "service-cache")
+    running = []
+
+    def build(**overrides):
+        config = ServiceConfig(port=0, cache_dir=cache_dir, **overrides)
+        service = ExperimentService(config)
+        port = service.start_background()
+        running.append(service)
+        return service, ServiceClient(port=port, timeout_s=60.0)
+
+    yield build
+    for service in running:
+        service.stop_background()
+
+
+@pytest.fixture
+def slow_experiment(monkeypatch):
+    """Install a gated fake experiment; returns its control handles."""
+    started = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    def run_slow(quiet=True):
+        calls.append(1)
+        started.set()
+        emit_progress({"kind": "cell", "label": "slow/w0", "done": 1, "total": 2})
+        assert release.wait(30.0), "test never released the slow experiment"
+        emit_progress({"kind": "cell", "label": "slow/w1", "done": 2, "total": 2})
+        return {"value": {"nested": [1, 2, 3]}, "label": "slow"}
+
+    monkeypatch.setitem(experiments_module.EXPERIMENTS, "slowtest", run_slow)
+    # The spec layer resolves names through EXPERIMENTS lazily, and
+    # "slowtest" takes no scale argument, so mark it unscaled.
+    monkeypatch.setattr(
+        experiments_module,
+        "UNSCALED",
+        experiments_module.UNSCALED | {"slowtest"},
+    )
+    return {"started": started, "release": release, "calls": calls}
+
+
+def test_concurrent_identical_submissions_coalesce(
+    service_factory, slow_experiment
+):
+    _service, client = service_factory()
+    spec = {"experiment": "slowtest"}
+
+    first = client.submit(spec)
+    assert first["disposition"] == "accepted"
+    assert slow_experiment["started"].wait(10.0)
+
+    # Identical submissions while in flight must all coalesce onto the
+    # same job — no second simulation starts.
+    others = [client.submit(spec) for _ in range(4)]
+    assert [ticket["disposition"] for ticket in others] == ["coalesced"] * 4
+    assert {ticket["id"] for ticket in others} == {first["id"]}
+
+    slow_experiment["release"].set()
+    payloads = [
+        client.result_bytes(ticket["id"], max_wait_s=30.0)
+        for ticket in [first] + others
+    ]
+    assert len(set(payloads)) == 1, "subscribers saw divergent bytes"
+    assert slow_experiment["calls"] == [1], "coalescing still ran twice"
+
+    # After completion, the same spec is served from memory, not re-run.
+    again = client.submit(spec)
+    assert again["disposition"] == "cached"
+    assert (
+        client.result_bytes(again["id"], max_wait_s=30.0) == payloads[0]
+    )
+    assert slow_experiment["calls"] == [1]
+
+    stats = client.stats()["service"]
+    assert stats["runs"] == 1
+    assert stats["coalesced"] == 4
+    assert stats["result_cache_hits"] == 1
+
+
+def test_fresh_and_cache_revived_results_are_byte_identical(service_factory):
+    # Two service instances share the on-disk cache dir: the first runs
+    # the simulation, the second revives it — the bytes must match.
+    _first_service, first_client = service_factory()
+    ticket = first_client.submit({"experiment": "table1"})
+    assert ticket["disposition"] == "accepted"
+    fresh = first_client.result_bytes(ticket["id"], max_wait_s=60.0)
+
+    _second_service, second_client = service_factory()
+    revived_ticket = second_client.submit({"experiment": "table1"})
+    assert revived_ticket["disposition"] == "cached"
+    revived = second_client.result_bytes(revived_ticket["id"], max_wait_s=30.0)
+    assert revived == fresh
+    assert second_client.stats()["service"]["runs"] == 0
+
+
+def test_cancel_mid_job(service_factory, slow_experiment):
+    _service, client = service_factory()
+    ticket = client.submit({"experiment": "slowtest"})
+    assert slow_experiment["started"].wait(10.0)
+
+    client.cancel(ticket["id"])
+    slow_experiment["release"].set()
+
+    # The worker observes the flag at its next progress event and aborts.
+    events = client.stream_events(ticket["id"], poll_wait_s=1.0, max_wait_s=30.0)
+    assert client.status(ticket["id"])["state"] == "cancelled"
+    assert events[-1]["kind"] == "cancelled"
+    with pytest.raises(ServiceError):
+        client.result_bytes(ticket["id"], max_wait_s=5.0)
+    assert client.stats()["service"]["cancelled"] == 1
+
+
+def test_cancel_queued_job_never_runs(service_factory, slow_experiment):
+    _service, client = service_factory()
+    running = client.submit({"experiment": "slowtest"})
+    assert slow_experiment["started"].wait(10.0)
+
+    # A different spec queued behind the running one cancels instantly.
+    queued = client.submit({"experiment": "table1"})
+    assert queued["disposition"] == "accepted"
+    assert client.status(queued["id"])["state"] == "queued"
+    client.cancel(queued["id"])
+    assert client.status(queued["id"])["state"] == "cancelled"
+
+    slow_experiment["release"].set()
+    client.result_bytes(running["id"], max_wait_s=30.0)
+    stats = client.stats()["service"]
+    assert stats["runs"] == 1  # the queued job never started
+    assert stats["cancelled"] == 1
+
+
+def test_progress_events_stream_in_order(service_factory, slow_experiment):
+    _service, client = service_factory()
+    ticket = client.submit({"experiment": "slowtest"})
+    assert slow_experiment["started"].wait(10.0)
+    slow_experiment["release"].set()
+    events = client.stream_events(ticket["id"], poll_wait_s=1.0, max_wait_s=30.0)
+
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    kinds = [event["kind"] for event in events]
+    assert kinds[0] == "queued"
+    assert kinds[1] == "started"
+    assert kinds[-1] == "done"
+    cells = [event for event in events if event["kind"] == "cell"]
+    assert [cell["label"] for cell in cells] == ["slow/w0", "slow/w1"]
+    assert [cell["done"] for cell in cells] == [1, 2]
+
+
+def test_invalid_spec_rejected_with_400(service_factory):
+    _service, client = service_factory()
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"experiment": "no_such_experiment"})
+    assert excinfo.value.status == 400
+    assert client.stats()["service"]["rejected"] == 1
+
+
+def test_canonical_result_bytes_round_trip_stable():
+    # Int dict keys stringify on the disk round trip; the canonical bytes
+    # must not depend on which side of that trip the payload came from.
+    payload = {"b": [1, 2], "a": {3: "x", 1: "y"}, "f": 1.5}
+    fresh = canonical_result_bytes(payload)
+    revived = canonical_result_bytes(json.loads(json.dumps(payload)))
+    assert fresh == revived
+
+
+class TestRunCacheHardening:
+    def _cache(self, tmp_path):
+        stats = ExecutionStats()
+        return RunCache(str(tmp_path / "cache"), stats=stats), stats
+
+    def test_corrupt_entry_is_miss_and_quarantined(self, tmp_path):
+        cache, stats = self._cache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert cache.get(key) is None
+        assert stats.cache_corrupt == 1
+        assert stats.cache_misses == 1
+        assert not os.path.exists(path), "corrupt entry must be removed"
+        # A valid-JSON entry with the wrong shape is equally corrupt.
+        with open(path, "w") as handle:
+            json.dump({"wrong": "shape"}, handle)
+        assert cache.get(key) is None
+        assert stats.cache_corrupt == 2
+
+    def test_eviction_is_lru_and_respects_budget(self, tmp_path):
+        cache, stats = self._cache(tmp_path)
+        keys = ["%02x" % index + "0" * 62 for index in range(4)]
+        for index, key in enumerate(keys):
+            cache.put(key, {"blob": "x" * 200, "index": index})
+            # Explicit, widely spaced mtimes: recency is unambiguous even
+            # on filesystems with coarse timestamps.
+            os.utime(cache.path_for(key), (1000.0 + index, 1000.0 + index))
+
+        # Touch the oldest entry via a hit: it becomes the most recent.
+        assert cache.get(keys[0]) is not None
+        os.utime(cache.path_for(keys[0]), (2000.0, 2000.0))
+
+        entry_size = os.path.getsize(cache.path_for(keys[1]))
+        budget = int(entry_size * 2.5)  # room for two entries
+        evicted = cache.enforce_budget(budget)
+        assert evicted == 2
+        assert stats.cache_evictions == 2
+        assert cache.size_bytes() <= budget
+        # LRU: 1 and 2 went; the touched 0 and newest 3 survive.
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[3]) is not None
+        assert not os.path.exists(cache.path_for(keys[1]))
+        assert not os.path.exists(cache.path_for(keys[2]))
+
+    def test_zero_budget_means_unlimited(self, tmp_path):
+        cache, _stats = self._cache(tmp_path)
+        cache.put("cd" + "0" * 62, {"x": 1})
+        assert cache.enforce_budget(0) == 0
+        assert len(cache) == 1
+
+
+def test_progress_event_order_is_jobs_invariant():
+    # The streaming feed must be deterministic at any worker count: same
+    # events, same order, at jobs=1 and jobs=4 — only wall-clock timings
+    # may differ.
+    from repro.parallel import overridden
+    from repro.secure.designs import SGX_O, SYNERGY
+    from repro.sim.config import SystemConfig
+    from repro.sim.runner import clear_run_memos, run_suite
+
+    tiny = SystemConfig(accesses_per_core=600)
+
+    def collect(jobs):
+        clear_run_memos()
+        events = []
+
+        def on_event(event):
+            events.append(
+                {k: v for k, v in event.items() if k != "seconds"}
+            )
+
+        with overridden(cache_enabled=False):
+            run_suite(
+                [SGX_O, SYNERGY],
+                ["mcf", "pr-web"],
+                tiny,
+                jobs=jobs,
+                progress=on_event,
+            )
+        return events
+
+    serial = collect(1)
+    pooled = collect(4)
+    assert serial == pooled
+    assert serial[0]["kind"] == "suite"
+    assert [e["done"] for e in serial[1:]] == [1, 2, 3, 4]
+
+
+def test_service_eviction_end_to_end(service_factory):
+    # A tiny budget forces eviction after each completed job.
+    service, client = service_factory(cache_budget_bytes=1)
+    ticket = client.submit({"experiment": "table1"})
+    client.result_bytes(ticket["id"], max_wait_s=60.0)
+    ticket2 = client.submit({"experiment": "sdc"})
+    client.result_bytes(ticket2["id"], max_wait_s=60.0)
+    stats = client.stats()
+    assert stats["cache"]["size_bytes"] <= 1 or stats["cache"]["entries"] == 0
+    # Results still serve from the in-memory tier after disk eviction.
+    again = client.submit({"experiment": "table1"})
+    assert again["disposition"] == "cached"

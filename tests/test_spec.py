@@ -1,0 +1,103 @@
+"""Canonical experiment-spec schema: validation, round-trip, identity."""
+
+import json
+
+import pytest
+
+from repro.harness.spec import (
+    GRID_EXPERIMENT,
+    ExperimentSpec,
+    SpecError,
+    known_experiments,
+)
+
+
+def test_known_experiments_include_grid_and_figures():
+    names = known_experiments()
+    assert GRID_EXPERIMENT in names
+    assert "fig8" in names
+    assert "table1" in names
+
+
+def test_payload_round_trip_is_stable():
+    spec = ExperimentSpec(
+        experiment=GRID_EXPERIMENT,
+        scale="quick",
+        designs=("SGX_O", "Synergy"),
+        seeds=(3, 1),
+        jobs=4,
+    ).validated()
+    payload = spec.to_payload()
+    # Stable through JSON: what a client POSTs is what the service parses.
+    revived = ExperimentSpec.from_payload(json.loads(json.dumps(payload)))
+    assert revived == spec
+    assert revived.to_payload() == payload
+
+
+def test_unscaled_experiments_normalise_scale():
+    # table1 ignores scale entirely, so every scale must map to the same
+    # canonical spec (and therefore the same cache key).
+    quick = ExperimentSpec(experiment="table1", scale="quick").validated()
+    full = ExperimentSpec(experiment="table1", scale="full").validated()
+    assert quick.scale == "default"
+    assert quick.cache_key() == full.cache_key()
+
+
+def test_scaled_experiments_keep_scale_distinct():
+    quick = ExperimentSpec(experiment="fig8", scale="quick").validated()
+    full = ExperimentSpec(experiment="fig8", scale="full").validated()
+    assert quick.cache_key() != full.cache_key()
+
+
+def test_jobs_never_affect_identity():
+    # Results are bit-identical at any worker count, so the worker count
+    # must not fragment the cache/coalescing key space.
+    serial = ExperimentSpec(experiment="fig8", scale="quick", jobs=1)
+    parallel = ExperimentSpec(experiment="fig8", scale="quick", jobs=8)
+    assert serial.cache_key() == parallel.cache_key()
+    assert serial.identity() == parallel.identity()
+
+
+def test_designs_and_seeds_affect_identity():
+    base = ExperimentSpec(
+        experiment=GRID_EXPERIMENT, scale="quick", designs=("SGX_O",)
+    )
+    other_design = ExperimentSpec(
+        experiment=GRID_EXPERIMENT, scale="quick", designs=("Synergy",)
+    )
+    seeded = ExperimentSpec(
+        experiment=GRID_EXPERIMENT, scale="quick", designs=("SGX_O",), seeds=(1,)
+    )
+    keys = {base.cache_key(), other_design.cache_key(), seeded.cache_key()}
+    assert len(keys) == 3
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"experiment": "no_such_experiment"},
+        {"experiment": "fig8", "scale": "warp"},
+        {"experiment": "fig8", "designs": ["SGX_O"]},  # grid-only field
+        {"experiment": "fig8", "seeds": [1]},  # grid-only field
+        {"experiment": "grid", "designs": ["NoSuchDesign"]},
+        {"experiment": "grid", "designs": ["SGX_O", "SGX_O"]},  # duplicate
+        {"experiment": "grid", "seeds": ["one"]},
+        {"experiment": "grid", "seeds": [True]},  # bool is not an int here
+        {"experiment": "fig8", "jobs": -1},
+        {"experiment": "fig8", "unknown_field": 1},
+        {"scale": "quick"},  # missing experiment
+        {"experiment": 42},
+    ],
+)
+def test_invalid_payloads_rejected(payload):
+    with pytest.raises(SpecError):
+        ExperimentSpec.from_payload(payload)
+
+
+def test_from_payload_accepts_minimal_spec():
+    spec = ExperimentSpec.from_payload({"experiment": "sdc"})
+    assert spec.experiment == "sdc"
+    assert spec.scale == "default"
+    assert spec.designs == ()
+    assert spec.seeds == ()
+    assert spec.jobs == 0

@@ -293,6 +293,8 @@ class TestExecutionStats:
         assert set(payload) == {
             "cache_hits",
             "cache_misses",
+            "cache_corrupt",
+            "cache_evictions",
             "cells_executed",
             "busy_seconds",
             "span_seconds",

@@ -26,14 +26,67 @@ def _load(path):
 
 
 def _micro(snapshot):
-    return {
-        case: values["per_op_us"]
-        for case, values in (snapshot.get("micro") or {}).items()
-    }
+    # Tolerate foreign/partial sections: a "micro" entry without the
+    # expected per_op_us number is skipped, not a crash — snapshots from
+    # different tools (e.g. the service load test) share the BENCH_*.json
+    # namespace but not the schema.
+    cases = {}
+    for case, values in (snapshot.get("micro") or {}).items():
+        if isinstance(values, dict) and isinstance(
+            values.get("per_op_us"), (int, float)
+        ):
+            cases[case] = values["per_op_us"]
+    return cases
 
 
 def _end_to_end(snapshot):
-    return (snapshot.get("end_to_end") or {}).get("after_s") or {}
+    section = snapshot.get("end_to_end")
+    if not isinstance(section, dict):
+        return {}
+    after = section.get("after_s")
+    return after if isinstance(after, dict) else {}
+
+
+#: (label, path-into-service-section, higher_is_better)
+_SERVICE_METRICS = [
+    ("throughput/s", ("throughput_per_s",), True),
+    ("coalesce rate", ("coalesce_rate",), True),
+    ("submit p50 s", ("latency_s", "submit", "p50"), False),
+    ("submit p99 s", ("latency_s", "submit", "p99"), False),
+    ("end-to-end p50 s", ("latency_s", "end_to_end", "p50"), False),
+    ("end-to-end p99 s", ("latency_s", "end_to_end", "p99"), False),
+]
+
+
+def _service_metric(snapshot, path):
+    node = snapshot.get("service")
+    for part in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node if isinstance(node, (int, float)) else None
+
+
+def _service_rows(old, new):
+    """Comparison rows for service load-test snapshots (either side may
+    lack the section entirely — disjoint snapshots must still diff)."""
+    rows = []
+    for label, path, higher_is_better in _SERVICE_METRICS:
+        before = _service_metric(old, path)
+        after = _service_metric(new, path)
+        if before is None and after is None:
+            continue
+        if before is None or after is None:
+            rows.append([label, _fmt(before), _fmt(after), "(one-sided)"])
+            continue
+        if after == 0 or before == 0:
+            ratio = "-"
+        elif higher_is_better:
+            ratio = "%.2fx" % (after / before)
+        else:
+            ratio = "%.2fx" % (before / after)
+        rows.append([label, "%.4g" % before, "%.4g" % after, ratio])
+    return rows
 
 
 def compare(old, new):
@@ -70,7 +123,7 @@ def compare(old, new):
         e2e_rows.append([figure, "%.1f" % before, "%.1f" % after, ratio])
     total_before = sum(value for value in old_e2e.values())
     total_after = sum(value for value in new_e2e.values())
-    if old_e2e or new_e2e:
+    if old_e2e and new_e2e:  # a TOTAL over a missing section is noise
         ratio = "%.2fx" % (total_before / total_after) if total_after else "-"
         e2e_rows.append(
             ["TOTAL", "%.1f" % total_before, "%.1f" % total_after, ratio]
@@ -104,6 +157,12 @@ def main() -> int:
 
     old, new = _load(args.old), _load(args.new)
     micro_rows, e2e_rows, regressions = compare(old, new)
+    service_rows = _service_rows(old, new)
+    if not micro_rows and not e2e_rows and not service_rows:
+        print(
+            "no comparable sections between %s and %s (disjoint snapshots)"
+            % (args.old, args.new)
+        )
     if micro_rows:
         print(
             render_table(
@@ -118,6 +177,14 @@ def main() -> int:
                 ["figure", "old s", "new s", "speedup"],
                 e2e_rows,
                 "End-to-end (quick grid)",
+            )
+        )
+    if service_rows:
+        print(
+            render_table(
+                ["metric", "old", "new", "improvement"],
+                service_rows,
+                "Service load test",
             )
         )
 
