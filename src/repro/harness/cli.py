@@ -118,6 +118,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "after each job (0 = unlimited)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="(serve only) concurrent job slots; unique specs run in "
+        "parallel, each in its own simulation context",
+    )
+    parser.add_argument(
+        "--worker-processes",
+        action="store_true",
+        help="(serve only) run each job in a forked child process instead "
+        "of a pool thread (full CPU scaling across slots)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="enable the runtime invariant sanitizer (same as REPRO_SANITIZE=1; "
@@ -220,6 +234,8 @@ def _serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         spec_jobs=args.jobs or 1,
+        workers=max(1, args.workers),
+        worker_processes=args.worker_processes,
         cache_budget_bytes=max(0, args.cache_budget_mb) * (1 << 20),
         cache=not args.no_cache,
     )

@@ -17,6 +17,7 @@ process-global :class:`ExecutionContext` steered by the CLI flags
 
 from repro.parallel.context import (
     ExecutionContext,
+    applied,
     configure,
     default_jobs,
     get_context,
@@ -24,7 +25,7 @@ from repro.parallel.context import (
     resolve_jobs,
 )
 from repro.parallel.executor import parallel_map
-from repro.parallel.instrument import EXECUTION_STATS, ExecutionStats
+from repro.parallel.instrument import EXECUTION_STATS, ExecutionStats, current_stats
 from repro.parallel.runcache import (
     RunCache,
     cache_key,
@@ -38,9 +39,11 @@ __all__ = [
     "ExecutionStats",
     "EXECUTION_STATS",
     "RunCache",
+    "applied",
     "cache_key",
     "code_fingerprint",
     "configure",
+    "current_stats",
     "default_cache_dir",
     "default_jobs",
     "get_context",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+from contextvars import ContextVar
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
@@ -42,9 +43,21 @@ def _from_env() -> ExecutionContext:
 
 _CONTEXT: Optional[ExecutionContext] = None
 
+#: Scoped override (tests, benchmarks, run_spec, the service's workers).
+#: A ContextVar rather than a rebind of the global: overrides are visible
+#: only to the thread (or asyncio task) that entered them, so concurrent
+#: jobs with different jobs/cache settings cannot trample each other.
+_OVERRIDE: "ContextVar[Optional[ExecutionContext]]" = ContextVar(
+    "repro_exec_override", default=None
+)
+
 
 def get_context() -> ExecutionContext:
-    """The active context (built from the environment on first use)."""
+    """The active context: the innermost scoped override if any, else the
+    process baseline (built from the environment on first use)."""
+    override = _OVERRIDE.get()
+    if override is not None:
+        return override
     global _CONTEXT
     if _CONTEXT is None:
         _CONTEXT = _from_env()
@@ -52,22 +65,46 @@ def get_context() -> ExecutionContext:
 
 
 def configure(**changes: object) -> ExecutionContext:
-    """Permanently change fields of the active context (CLI entry points)."""
+    """Permanently change fields of the process baseline (CLI entry points).
+
+    Deliberately ignores any scoped override in effect: `configure` is for
+    process-wide policy, `overridden`/`applied` for scoped policy.
+    """
     global _CONTEXT
-    _CONTEXT = replace(get_context(), **changes)
+    if _CONTEXT is None:
+        _CONTEXT = _from_env()
+    _CONTEXT = replace(_CONTEXT, **changes)
     return _CONTEXT
 
 
 @contextlib.contextmanager
 def overridden(**changes: object) -> Iterator[ExecutionContext]:
-    """Temporarily override context fields (tests, benchmarks, helpers)."""
-    global _CONTEXT
-    saved = get_context()
-    _CONTEXT = replace(saved, **changes)
+    """Temporarily override context fields (tests, benchmarks, helpers).
+
+    Thread- and task-scoped: the override is invisible outside the entering
+    thread, and restoration is exception-safe and re-entrant.
+    """
+    token = _OVERRIDE.set(replace(get_context(), **changes))
     try:
-        yield _CONTEXT
+        yield get_context()
     finally:
-        _CONTEXT = saved
+        _OVERRIDE.reset(token)
+
+
+@contextlib.contextmanager
+def applied(context: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Make a previously captured ``ExecutionContext`` the active one.
+
+    The service captures ``get_context()`` on the thread that constructed
+    it (where any test/CLI override *is* visible) and re-applies it on each
+    worker thread, which — overrides being thread-scoped — would otherwise
+    see only the process baseline.
+    """
+    token = _OVERRIDE.set(context)
+    try:
+        yield context
+    finally:
+        _OVERRIDE.reset(token)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:

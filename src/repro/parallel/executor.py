@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.parallel.instrument import EXECUTION_STATS, ExecutionStats
+from repro.parallel.instrument import ExecutionStats, current_stats
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -53,7 +53,7 @@ def parallel_map(
     items = list(items)
     if labels is None:
         labels = [str(index) for index in range(len(items))]
-    stats = stats if stats is not None else EXECUTION_STATS
+    stats = stats if stats is not None else current_stats()
     workers = min(max(1, int(jobs)), len(items)) if items else 1
 
     span_started = time.perf_counter()

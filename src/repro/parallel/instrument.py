@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.simcontext import current_context, default_context
 from repro.telemetry import MetricsRegistry, MetricsSnapshot
 
 
@@ -29,6 +30,7 @@ class ExecutionStats:
         self._misses = self._registry.counter("exec.cache_misses")
         self._corrupt = self._registry.counter("exec.cache_corrupt")
         self._evictions = self._registry.counter("exec.cache_evictions")
+        self._memo_evictions = self._registry.counter("exec.memo_evictions")
         self._cell_timer = self._registry.timer("exec.cell_seconds")
         self._span_timer = self._registry.timer("exec.span_seconds")
         self._capacity_timer = self._registry.timer("exec.capacity_seconds")
@@ -56,6 +58,10 @@ class ExecutionStats:
 
     def record_cache_eviction(self, label: str = "") -> None:
         self._evictions.inc()
+
+    def record_memo_evictions(self, count: int = 1) -> None:
+        if count:
+            self._memo_evictions.inc(count)
 
     def record_cell(self, label: str, seconds: float) -> None:
         self.cell_times.append((label, seconds))
@@ -87,6 +93,11 @@ class ExecutionStats:
     def cache_evictions(self) -> int:
         """Cache entries evicted by size-budget enforcement."""
         return int(self._evictions.value)
+
+    @property
+    def memo_evictions(self) -> int:
+        """In-memory cell-memo entries evicted by its byte budget."""
+        return int(self._memo_evictions.value)
 
     @property
     def cells_executed(self) -> int:
@@ -126,6 +137,7 @@ class ExecutionStats:
             "cache_misses": self.cache_misses,
             "cache_corrupt": self.cache_corrupt,
             "cache_evictions": self.cache_evictions,
+            "memo_evictions": self.memo_evictions,
             "cells_executed": self.cells_executed,
             "busy_seconds": round(self.busy_seconds, 3),
             "span_seconds": round(self.span_seconds, 3),
@@ -137,5 +149,21 @@ class ExecutionStats:
         }
 
 
-#: Process-global collector used by default everywhere.
+#: Process-default collector: what :func:`current_stats` resolves outside
+#: any :mod:`repro.simcontext` scope (the CLI and report layer reference
+#: this object directly, so the default context binds this very instance).
 EXECUTION_STATS = ExecutionStats()
+
+
+def current_stats() -> ExecutionStats:
+    """The active context's execution stats."""
+    context = current_context()
+    stats = context.stats
+    if stats is None:
+        stats = (
+            EXECUTION_STATS
+            if context is default_context()
+            else ExecutionStats()
+        )
+        context.stats = stats
+    return stats  # type: ignore[no-any-return]

@@ -29,7 +29,7 @@ import tempfile
 from typing import Optional, Union
 
 from repro.parallel.context import get_context
-from repro.parallel.instrument import EXECUTION_STATS, ExecutionStats
+from repro.parallel.instrument import ExecutionStats, current_stats
 
 _FINGERPRINT: Optional[str] = None
 
@@ -105,7 +105,17 @@ class RunCache:
         stats: Optional[ExecutionStats] = None,
     ):
         self.root = root or default_cache_dir()
-        self._stats = stats if stats is not None else EXECUTION_STATS
+        # With no explicit collector, resolve per call: one RunCache may be
+        # shared across service worker scopes with per-scope stats.
+        self._pinned_stats = stats
+
+    @property
+    def _stats(self) -> ExecutionStats:
+        return (
+            self._pinned_stats
+            if self._pinned_stats is not None
+            else current_stats()
+        )
 
     def path_for(self, key: str) -> str:
         """On-disk location of one entry (two-level fan-out by prefix)."""

@@ -16,6 +16,9 @@ versions:
   the columnar numpy-batch driver, ``miss_expansion_reference`` the
   retained scalar oracle they are measured against)
 * ``telemetry_record``  — counter/histogram recording through a registry
+* ``context_scope``     — :func:`repro.simcontext.sim_context` enter/exit
+  plus context-resolved ``get_registry`` lookups: the dispatch overhead the
+  scoped-context refactor added to every hot-path metric touch
 * ``trace_generate``    — vectorised workload-trace synthesis (sphinx3, 50k)
 * ``trace_generate_reference`` — the retained scalar trace generator on the
   same profile/length, kept as the speedup baseline for ``trace_generate``
@@ -255,6 +258,28 @@ def telemetry_record() -> int:
     return 2 * iterations
 
 
+def context_scope() -> int:
+    """Simulation-scope churn: context enter/exit + registry resolution.
+
+    Every ``get_registry()``/``get_tracer()``/memo touch now resolves
+    through ``contextvars`` instead of reading a module global; this case
+    prices that dispatch — a fresh :func:`sim_context` per iteration with
+    a handful of registry lookups inside, the access pattern one simulated
+    cell's telemetry hooks produce in miniature. The gated hot-loop cases
+    (``miss_expansion``, ``rob_advance``) bound the end-to-end cost; this
+    one isolates it."""
+    from repro.simcontext import sim_context
+    from repro.telemetry.registry import get_registry
+
+    entries = 10_000
+    lookups_per_entry = 4
+    for _ in range(entries):
+        with sim_context(name="microbench"):
+            for _ in range(lookups_per_entry):
+                get_registry()  # lint-ok: P203 the lookup IS the payload
+    return entries * (1 + lookups_per_entry)
+
+
 #: Profile/length for the trace-generation pair. The two cases must stay in
 #: lock-step so ``trace_generate`` / ``trace_generate_reference`` is a
 #: meaningful speedup ratio. 50k records keeps the vectorised working set
@@ -297,6 +322,7 @@ CASES: Dict[str, Callable[[], int]] = {
     "miss_expansion_batch": miss_expansion_batch,
     "miss_expansion_reference": miss_expansion_reference,
     "telemetry_record": telemetry_record,
+    "context_scope": context_scope,
     "trace_generate": trace_generate,
     "trace_generate_reference": trace_generate_reference,
 }

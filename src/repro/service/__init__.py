@@ -4,7 +4,11 @@ A stdlib-only (asyncio) long-running service that wraps the harness:
 clients POST :class:`~repro.harness.spec.ExperimentSpec` payloads, the
 service coalesces identical concurrent submissions onto one simulation,
 streams per-cell progress, and serves results from a size-budgeted
-content-addressed run cache. See DESIGN.md ("Service architecture").
+content-addressed run cache. Unique specs execute across ``workers``
+parallel slots (``--workers``), each inside its own
+:class:`~repro.simcontext.SimContext`; results are byte-identical at any
+worker count. See DESIGN.md ("Service architecture" and "Execution
+contexts & the concurrency model").
 """
 
 from repro.service.client import ServiceClient, ServiceError

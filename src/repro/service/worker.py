@@ -1,15 +1,35 @@
-"""Worker bridge: runs queued jobs off the event loop, one at a time.
+"""Worker pool: runs queued jobs off the event loop, N at a time.
 
-The simulator stack keeps deliberate process-global state — the execution
-context (``overridden``), :data:`~repro.parallel.EXECUTION_STATS` and the
-in-process run memo — none of which is thread-safe. So the bridge executes
-specs on a **single** dedicated thread; service concurrency comes from the
-three dedup tiers in :class:`~repro.service.jobs.JobManager` plus the
-per-spec *process* fan-out (``jobs=N``) inside each simulation.
+Historically the bridge was pinned to a **single** worker thread because
+the simulator stack kept process-global mutable state (telemetry registry
+stack, tracer, run memos, generator hints). That state now lives on
+:class:`~repro.simcontext.SimContext` scopes, so the bridge runs ``workers``
+drain tasks, each owning:
 
-Progress events raised by the runner on the worker thread are marshalled
-to the event loop with ``call_soon_threadsafe``; the same callback checks
-the job's cancel flag, so cancellation is cooperative at cell granularity.
+* one long-lived :class:`SimContext` — its memos stay warm across the jobs
+  that slot executes, and are invisible to every other slot;
+* the captured :class:`~repro.parallel.ExecutionContext` — scoped execution
+  overrides (test cache dirs, ``--no-cache``) are thread-local, so the
+  bridge re-applies the policy captured at construction on each worker
+  thread.
+
+Two execution modes per job, chosen by ``worker_processes``:
+
+* **thread** (default): the spec runs on a pool thread inside its slot's
+  context. Worker threads spend most of their life blocked in the per-spec
+  *process* fan-out (``repro.parallel.parallel_map``), so N slots overlap
+  usefully even under the GIL.
+* **process**: the spec runs in a forked child (its own interpreter, its
+  own fresh context), streaming progress events back over a pipe; the
+  parent thread polls the pipe, forwards events to the loop, and terminates
+  the child the moment the job's cancel flag rises. Full CPU scaling, and
+  cancellation cannot perturb a neighbour by construction.
+
+Either way, progress events are marshalled to the event loop with
+``call_soon_threadsafe`` *per job* from a single thread, so each job's
+``seq`` numbers stay dense and ordered at any worker count; and because
+every cell is a pure function of its content key, results are byte-
+identical at any worker count (the load test asserts this).
 """
 
 from __future__ import annotations
@@ -17,10 +37,13 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import json
+import multiprocessing
+import multiprocessing.connection
 import traceback
 from typing import Dict, Optional
 
 from repro.harness.experiments import run_spec
+from repro.parallel.context import ExecutionContext, applied, get_context
 from repro.service.jobs import (
     Job,
     JobCancelled,
@@ -28,44 +51,70 @@ from repro.service.jobs import (
     canonical_result_bytes,
 )
 from repro.sim.runner import cell_progress
+from repro.simcontext import SimContext, activate, sim_context
+
+#: How often (seconds) the parent polls a process-mode child for progress
+#: events and re-checks the cancel flag. Bounds cancellation latency.
+_CHILD_POLL_S = 0.05
 
 
 class WorkerBridge:
-    """Drains the job queue through one executor thread."""
+    """Drains the job queue through ``workers`` executor slots."""
 
     def __init__(
         self,
         manager: JobManager,
         spec_jobs: int = 1,
         cache_budget_bytes: int = 0,
+        workers: int = 1,
+        worker_processes: bool = False,
     ) -> None:
         self.manager = manager
         #: Default process fan-out for specs that don't pin their own.
         self.spec_jobs = max(1, int(spec_jobs))
         #: On-disk cache budget enforced after each run (0 = unlimited).
         self.cache_budget_bytes = max(0, int(cache_budget_bytes))
+        self.workers = max(1, int(workers))
+        self.worker_processes = bool(worker_processes)
+        #: The execution policy visible where the service was constructed;
+        #: re-applied on worker threads (scoped overrides don't cross
+        #: threads on their own).
+        self.exec_context: ExecutionContext = get_context()
         self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service-worker"
+            max_workers=self.workers, thread_name_prefix="repro-service-worker"
         )
-        self._task: Optional["asyncio.Task[None]"] = None
+        self._tasks: Dict[int, "asyncio.Task[None]"] = {}
+        #: Serialises cache-budget enforcement across slots: concurrent
+        #: LRU scans would double-count sizes and over-evict.
+        self._budget_lock: Optional[asyncio.Lock] = None
 
     def start(self) -> None:
-        """Begin draining the queue (idempotent)."""
-        if self._task is None or self._task.done():
-            self._task = asyncio.get_running_loop().create_task(self._run())
+        """Begin draining the queue with ``workers`` slots (idempotent)."""
+        if self._budget_lock is None:
+            self._budget_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        for slot in range(self.workers):
+            task = self._tasks.get(slot)
+            if task is None or task.done():
+                self._tasks[slot] = loop.create_task(self._run(slot))
 
     async def stop(self) -> None:
-        """Stop the drain loop and release the worker thread."""
-        if self._task is not None:
-            self._task.cancel()
+        """Stop every drain task and release the worker threads."""
+        tasks = [task for task in self._tasks.values() if not task.done()]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
+        self._tasks.clear()
         self._executor.shutdown(wait=False)
 
-    async def _run(self) -> None:
+    async def _run(self, slot: int) -> None:
+        # One long-lived simulation scope per slot: memos stay warm across
+        # this slot's jobs and never leak into a neighbour's.
+        context = SimContext(name="service-worker-%d" % slot)
         loop = asyncio.get_running_loop()
         while True:
             job = await self.manager.queue.get()
@@ -74,7 +123,7 @@ class WorkerBridge:
             self.manager.start(job)
             try:
                 payload = await loop.run_in_executor(
-                    self._executor, self._execute, job, loop
+                    self._executor, self._execute, job, loop, context
                 )
             except asyncio.CancelledError:
                 raise
@@ -92,39 +141,152 @@ class WorkerBridge:
                 continue
             self.manager.finish(job, canonical_result_bytes(payload))
             if self.cache_budget_bytes > 0 and self.manager.run_cache is not None:
-                await loop.run_in_executor(
-                    self._executor,
-                    self.manager.run_cache.enforce_budget,
-                    self.cache_budget_bytes,
-                )
+                assert self._budget_lock is not None
+                async with self._budget_lock:
+                    await loop.run_in_executor(
+                        self._executor,
+                        self.manager.run_cache.enforce_budget,
+                        self.cache_budget_bytes,
+                    )
 
     # -- worker-thread body ---------------------------------------------------
 
-    def _execute(self, job: Job, loop: asyncio.AbstractEventLoop) -> object:
-        """Run one spec on the worker thread; returns its raw payload.
+    def _execute(
+        self, job: Job, loop: asyncio.AbstractEventLoop, context: SimContext
+    ) -> object:
+        """Run one spec on a worker thread; returns its raw payload.
 
         Raises :class:`JobCancelled` as soon as the cancel flag is observed
-        (checked at every progress event, i.e. at cell granularity).
+        (checked at every progress event, i.e. at cell granularity — or on
+        a ~50 ms clock in process mode).
         """
         if job.cancel_flag_set():
             raise JobCancelled(job.id)
+        with applied(self.exec_context):
+            if self.worker_processes:
+                payload = self._execute_in_child(job, loop)
+            else:
+                payload = self._execute_inline(job, loop, context)
+            if job.cancel_flag_set():
+                raise JobCancelled(job.id)
+            if self.manager.run_cache is not None:
+                self.manager.run_cache.put(job.key, _jsonable(payload))
+        return payload
+
+    def _execute_inline(
+        self, job: Job, loop: asyncio.AbstractEventLoop, context: SimContext
+    ) -> object:
+        """Thread mode: run the spec in this thread, inside the slot scope."""
 
         def on_progress(event: Dict[str, object]) -> None:
             if job.cancel_flag_set():
                 raise JobCancelled(job.id)
             loop.call_soon_threadsafe(self.manager.record_progress, job, event)
 
-        with cell_progress(on_progress):
-            payload = run_spec(
-                job.spec,
-                quiet=True,
-                jobs=job.spec.jobs or self.spec_jobs,
-            )
-        if job.cancel_flag_set():
-            raise JobCancelled(job.id)
-        if self.manager.run_cache is not None:
-            self.manager.run_cache.put(job.key, _jsonable(payload))
-        return payload
+        with activate(context):
+            with cell_progress(on_progress):
+                return run_spec(
+                    job.spec,
+                    quiet=True,
+                    jobs=job.spec.jobs or self.spec_jobs,
+                )
+
+    def _execute_in_child(
+        self, job: Job, loop: asyncio.AbstractEventLoop
+    ) -> object:
+        """Process mode: fork a child for the spec, stream progress back.
+
+        The child simulates inside a fresh :func:`sim_context` and writes
+        ``("progress", event)`` / ``("result", payload)`` / ``("error",
+        detail, tb)`` tuples to its end of a pipe. This thread polls the
+        parent end: forwarding events preserves per-job ordering (single
+        sender, FIFO pipe, one forwarding thread), and a raised cancel flag
+        terminates the child between polls — a killed neighbour cannot
+        perturb anyone else's simulation state, it never shared any.
+        """
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        child = ctx.Process(
+            target=_child_main,
+            args=(
+                child_conn,
+                job.spec.to_payload(),
+                job.spec.jobs or self.spec_jobs,
+                self.exec_context,
+            ),
+            name="repro-service-job",
+        )
+        child.start()
+        child_conn.close()  # the parent keeps only the read end
+        try:
+            while True:
+                if job.cancel_flag_set():
+                    raise JobCancelled(job.id)
+                if not parent_conn.poll(_CHILD_POLL_S):
+                    if child.is_alive():
+                        continue
+                    # Child died without a result message (segfault, kill).
+                    raise RuntimeError(
+                        "worker child exited with code %s" % child.exitcode
+                    )
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        "worker child closed the pipe without a result"
+                    ) from None
+                kind = message[0]
+                if kind == "progress":
+                    loop.call_soon_threadsafe(
+                        self.manager.record_progress, job, message[1]
+                    )
+                elif kind == "result":
+                    return message[1]
+                elif kind == "error":
+                    raise RuntimeError(message[1] + "\n" + message[2])
+        finally:
+            if child.is_alive():
+                child.terminate()
+            child.join()
+            parent_conn.close()
+
+
+def _child_main(
+    conn: "multiprocessing.connection.Connection",
+    spec_payload: Dict[str, object],
+    jobs: int,
+    exec_context: ExecutionContext,
+) -> None:
+    """Process-mode child body: simulate one spec, stream events + result.
+
+    Runs inside a fresh :func:`sim_context` (a fork inherits the parent's
+    default-context memos as copy-on-write snapshots, but this scope keeps
+    every mutation private) and under the service's captured execution
+    policy (fork happens on a worker thread, whose scoped override state
+    is *not* what the service was configured with).
+    """
+    from repro.harness.spec import ExperimentSpec
+
+    try:
+        spec = ExperimentSpec.from_payload(spec_payload)
+
+        def forward(event: Dict[str, object]) -> None:
+            conn.send(("progress", event))
+
+        with applied(exec_context):
+            with sim_context(name="service-child"):
+                with cell_progress(forward):
+                    payload = run_spec(spec, quiet=True, jobs=jobs)
+        conn.send(("result", _jsonable(payload)))
+    except BaseException as exc:  # lint-ok: H301 the child's last act is
+        # reporting the failure; anything escaping here is lost to a pipe.
+        detail = "%s: %s" % (type(exc).__name__, exc)
+        try:
+            conn.send(("error", detail, traceback.format_exc(limit=8)))
+        except OSError:
+            pass  # parent already gone; nothing left to report to
+    finally:
+        conn.close()
 
 
 def _jsonable(payload: object) -> object:

@@ -19,7 +19,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Un
 from repro.analysis.sanitizer import get_sanitizer
 from repro.cpu.trace import Trace
 from repro.parallel import (
-    EXECUTION_STATS,
+    current_stats,
     parallel_map,
     resolve_cache,
     resolve_jobs,
@@ -30,10 +30,11 @@ from repro.sim.config import SystemConfig
 from repro.sim.energy import SystemEnergyParams, system_energy
 from repro.sim.results import ResultTable, RunResult
 from repro.sim.system import SystemSimulator
+from repro.simcontext import current_context
 from repro.telemetry import (
-    TELEMETRY_AGGREGATE,
     MetricsSnapshot,
     cell_scope,
+    current_aggregate,
     get_tracer,
 )
 from repro.workloads.generator import generate_trace
@@ -93,15 +94,14 @@ def _active_progress(
     return getattr(_PROGRESS, "callback", None)
 
 
-#: Process-local memo for generated traces. Grid runs regenerate the same
-#: per-core traces for every design sharing a workload (designs outer,
-#: workloads inner), and trace synthesis is a measurable slice of each
-#: cell; generate_trace is a pure function of the key below, and traces
-#: are immutable (columnar numpy arrays that no consumer mutates), so
-#: sharing one instance across
-#: simulators is safe. Bounded by wholesale clearing — the access pattern
-#: is a small working set per experiment, not an LRU-worthy stream.
-_TRACE_MEMO: Dict[Tuple[object, ...], Trace] = {}
+#: Context-local memo for generated traces (``SimContext.trace_memo``).
+#: Grid runs regenerate the same per-core traces for every design sharing a
+#: workload (designs outer, workloads inner), and trace synthesis is a
+#: measurable slice of each cell; generate_trace is a pure function of the
+#: key below, and traces are immutable (columnar numpy arrays that no
+#: consumer mutates), so sharing one instance across simulators is safe.
+#: Bounded by wholesale clearing — the access pattern is a small working
+#: set per experiment, not an LRU-worthy stream.
 _TRACE_MEMO_MAX = 256
 
 
@@ -113,9 +113,10 @@ def _memoised_trace(
     seed_salt: object,
     scale_divisor: int,
 ) -> Trace:
+    memo = current_context().trace_memo
     key = (profile, accesses, core, base_line, seed_salt, scale_divisor)
     try:
-        trace = _TRACE_MEMO.get(key)
+        trace = memo.get(key)
     except TypeError:  # unhashable profile or salt: just generate
         key = None
         trace = None
@@ -129,9 +130,9 @@ def _memoised_trace(
             scale_divisor=scale_divisor,
         )
         if key is not None:
-            if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
-                _TRACE_MEMO.clear()
-            _TRACE_MEMO[key] = trace
+            if len(memo) >= _TRACE_MEMO_MAX:
+                memo.clear()
+            memo[key] = trace
     return trace
 
 
@@ -165,14 +166,14 @@ def _traces_for(
     return label, traces
 
 
-#: Process-local memo for post-warmup cache state. Warmup is a pure
+#: Context-local memo for post-warmup cache state (``SimContext.warm_memo``).
+#: Warmup is a pure
 #: function of (warm traces, cache geometry, the design flags that steer
 #: the metadata walk): designs sharing those flags reach byte-identical
 #: cache dictionaries, so grid runs restore the snapshot instead of
 #: replaying the warm traces. Snapshot dicts are private copies — the
 #: restore copies them into the simulator's own set dictionaries
 #: (preserving insertion order, which *is* the LRU state).
-_WARM_MEMO: Dict[Tuple[object, ...], Tuple[list, list]] = {}
 _WARM_MEMO_MAX = 64
 
 
@@ -215,15 +216,16 @@ def _warm_simulator(
     seed: Optional[int] = None,
 ) -> None:
     """Warm ``sim``'s caches, through the memo when a snapshot exists."""
+    memo = current_context().warm_memo
     key = _warm_key(design, label, config, seed)
-    cached = _WARM_MEMO.get(key)
+    cached = memo.get(key)
     llc_sets = sim.hierarchy.llc._sets
     md_sets = sim.hierarchy.metadata_cache._sets
     if cached is None:
         sim.warmup(warmup_traces)
-        if len(_WARM_MEMO) >= _WARM_MEMO_MAX:
-            _WARM_MEMO.clear()
-        _WARM_MEMO[key] = (
+        if len(memo) >= _WARM_MEMO_MAX:
+            memo.clear()
+        memo[key] = (
             [dict(ways) for ways in llc_sets],
             [dict(ways) for ways in md_sets],
         )
@@ -237,31 +239,37 @@ def _warm_simulator(
         ways.update(snapshot)
 
 
-#: Process-local L1 in front of the persistent run cache, keyed by the
-#: same content address. The evaluation figures share grid cells wholesale
-#: (the SGX_O/SGX/Synergy baseline grid recurs in Figs. 8/9/10, Fig. 12's
-#: two-channel leg, and Fig. 13's monolithic leg), and each cell is a pure
-#: function of its key — so within one process the second figure replays
-#: the first figure's result instead of re-simulating. Unlike the disk
-#: cache this cannot go stale (it dies with the process and never spans a
-#: code version), so it stays on even when the persistent cache is
-#: disabled. Values are JSON strings: hits round-trip through
-#: ``json.loads`` so every consumer sees the same payload types as a
-#: disk-cache hit, and no two figures share mutable result state.
-_RUN_MEMO: Dict[str, str] = {}
-_RUN_MEMO_MAX = 512
+# The in-memory L1 in front of the persistent run cache, keyed by the same
+# content address, lives on the context too (``SimContext.run_memo``). The
+# evaluation figures share grid cells wholesale (the SGX_O/SGX/Synergy
+# baseline grid recurs in Figs. 8/9/10, Fig. 12's two-channel leg, and
+# Fig. 13's monolithic leg), and each cell is a pure function of its key —
+# so within one scope the second figure replays the first figure's result
+# instead of re-simulating. Unlike the disk cache this cannot go stale (it
+# dies with the context and never spans a code version), so it stays on
+# even when the persistent cache is disabled. Values are JSON strings: hits
+# round-trip through ``json.loads`` so every consumer sees the same payload
+# types as a disk-cache hit, and no two figures share mutable result state.
+# The memo is a byte-budgeted LRU (``BoundedBytesMemo``): long-lived
+# service processes stream unbounded distinct specs through it, and each
+# eviction is counted as ``exec.memo_evictions`` on the scope's stats.
 
 
 def clear_run_memos() -> None:
-    """Drop every process-local memo (traces, warm state, cell results).
+    """Drop the active context's memos (traces, warm state, cell results).
 
     Tests that assert on execution counts call this first; nothing in the
     memos is observable in results — cells are pure — so clearing is
     always safe, merely slower.
     """
-    _TRACE_MEMO.clear()
-    _WARM_MEMO.clear()
-    _RUN_MEMO.clear()
+    current_context().clear_memos()
+
+
+def _memo_put(key: str, serialized: str) -> None:
+    """Store one cell in the context memo, counting any LRU evictions."""
+    evicted = current_context().run_memo.put(key, serialized)
+    if evicted:
+        current_stats().record_memo_evictions(evicted)
 
 
 def run_workload(
@@ -415,6 +423,8 @@ def run_suite(
     # The in-process memo stands down under the sanitizer: sanitize runs
     # recompute every cell so check_cached_payload exercises the full path.
     memo_on = get_sanitizer() is None
+    run_memo = current_context().run_memo
+    stats = current_stats()
     finished = {}
     hits = []
     pending = []
@@ -426,9 +436,9 @@ def run_suite(
             else None
         )
         if key is not None and memo_on:
-            serialized = _RUN_MEMO.get(key)
+            serialized = run_memo.get(key)
             if serialized is not None:
-                EXECUTION_STATS.record_cache_hit(label)
+                stats.record_cache_hit(label)
                 result = RunResult.from_payload(json.loads(serialized))
                 finished[(design, workload)] = result
                 hits.append((label, result))
@@ -445,8 +455,8 @@ def run_suite(
                             d, w, config, energy_params, seed
                         ).to_payload(),
                     )
-                elif len(_RUN_MEMO) < _RUN_MEMO_MAX:
-                    _RUN_MEMO[key] = json.dumps(payload)
+                else:
+                    _memo_put(key, json.dumps(payload))
                 result = RunResult.from_payload(payload)
                 finished[(design, workload)] = result
                 hits.append((label, result))
@@ -489,9 +499,7 @@ def run_suite(
                 if run_cache is not None:
                     run_cache.put(key, payload)
                 if memo_on:
-                    if len(_RUN_MEMO) >= _RUN_MEMO_MAX:
-                        _RUN_MEMO.clear()
-                    _RUN_MEMO[key] = json.dumps(payload)
+                    _memo_put(key, json.dumps(payload))
 
     table = ResultTable()
     for cell in cells:
@@ -499,5 +507,5 @@ def run_suite(
         table.add(result)
         # Grid order + commutative merge => the aggregate is independent of
         # completion order, and warm cache hits still contribute metrics.
-        TELEMETRY_AGGREGATE.add(result.design, result.telemetry)
+        current_aggregate().add(result.design, result.telemetry)
     return table

@@ -1,6 +1,9 @@
 """The metrics registry, snapshots, and per-cell scoping.
 
-One :class:`MetricsRegistry` is active per process at any moment. Simulator
+One :class:`MetricsRegistry` is active per *execution context* at any
+moment (see :mod:`repro.simcontext`; threads that never enter a context
+share the process-default one, preserving the historical single-registry
+behaviour). Simulator
 components fetch metric handles by name at construction time (`counter`,
 `gauge`, `histogram`, `timer`); handles with the same name resolve to the
 same object, so any number of components can share a counter.
@@ -19,8 +22,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.simcontext import current_context
 from repro.telemetry.metrics import (
     Counter,
     DEFAULT_EDGES,
@@ -281,11 +285,16 @@ class MetricsRegistry:
 
 
 # ---------------------------------------------------------------------------
-# Process-global registry stack
+# Context-scoped registry stack
 # ---------------------------------------------------------------------------
+#
+# The registry stack lives on the active SimContext: code that never enters
+# a context resolves the shared process-default stack (the exact pre-context
+# behaviour), while the service's worker scopes each get a private stack so
+# concurrent simulations cannot interleave registries. The collection
+# *enable* flag stays process-wide — it is configuration, not run state.
 
 _COLLECTION_ENABLED: Optional[bool] = None
-_STACK: List[MetricsRegistry] = []
 
 
 def collection_enabled() -> bool:
@@ -307,10 +316,11 @@ def configure(enabled: bool) -> None:
 
 
 def get_registry() -> MetricsRegistry:
-    """The active registry (process default, or the innermost scope)."""
-    if not _STACK:
-        _STACK.append(MetricsRegistry(enabled=collection_enabled()))
-    return _STACK[-1]
+    """The active registry (context default, or the innermost scope)."""
+    stack = current_context().registry_stack
+    if not stack:
+        stack.append(MetricsRegistry(enabled=collection_enabled()))
+    return stack[-1]
 
 
 @contextlib.contextmanager
@@ -320,14 +330,18 @@ def scoped_registry(
     """Push a fresh registry for the duration of the block.
 
     Components constructed inside the block register into it; the caller
-    snapshots it before (or after) the block exits. Scopes nest.
+    snapshots it before (or after) the block exits. Scopes nest, and the
+    push/pop lands on whichever :class:`~repro.simcontext.SimContext` is
+    active at entry — concurrent workers each scope their own stack.
     """
     if enabled is None:
         enabled = collection_enabled()
-    get_registry()  # materialise the process default at stack bottom
+    stack = current_context().registry_stack
+    if not stack:
+        stack.append(MetricsRegistry(enabled=collection_enabled()))
     registry = MetricsRegistry(enabled=enabled)
-    _STACK.append(registry)
+    stack.append(registry)
     try:
         yield registry
     finally:
-        _STACK.pop()
+        stack.pop()

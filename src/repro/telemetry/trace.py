@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.simcontext import current_context
+
 _FALSEY = ("0", "false", "no", "off")
 
 
@@ -179,18 +181,22 @@ def read_jsonl(path: str) -> List[TraceEvent]:
 
 
 # ---------------------------------------------------------------------------
-# Process-global tracer
+# Context-scoped tracer
 # ---------------------------------------------------------------------------
-
-_TRACER: Optional[EventTracer] = None
+#
+# The tracer lives on the active SimContext (repro.simcontext): code outside
+# any context gets the shared process-default tracer (the historical
+# behaviour), while each service worker scope traces into its own ring.
 
 
 def get_tracer() -> EventTracer:
-    """The process tracer (enabled iff ``REPRO_TRACE`` names a sink)."""
-    global _TRACER
-    if _TRACER is None:
-        _TRACER = EventTracer(enabled=trace_out_from_env() is not None)
-    return _TRACER
+    """The active context's tracer (enabled iff ``REPRO_TRACE`` is set)."""
+    context = current_context()
+    tracer = context.tracer
+    if tracer is None:
+        tracer = EventTracer(enabled=trace_out_from_env() is not None)
+        context.tracer = tracer
+    return tracer  # type: ignore[no-any-return]
 
 
 def configure_tracer(
@@ -198,14 +204,14 @@ def configure_tracer(
     capacity: Optional[int] = None,
     run_id: Optional[str] = None,
 ) -> EventTracer:
-    """Reconfigure the process tracer (CLI entry points, tests)."""
-    global _TRACER
+    """Reconfigure the active context's tracer (CLI entry points, tests)."""
+    context = current_context()
     tracer = get_tracer()
     if capacity is not None and capacity != tracer.capacity:
         tracer = EventTracer(
             capacity=capacity, enabled=tracer.enabled, run_id=tracer.run_id
         )
-        _TRACER = tracer
+        context.tracer = tracer
     if enabled is not None:
         tracer.enabled = enabled
     if run_id is not None:

@@ -41,6 +41,7 @@ import math
 from typing import List
 
 from repro.cpu.trace import MemoryOp, Trace, TraceRecord
+from repro.simcontext import current_context
 from repro.util.rng import DeterministicRng, derive_seed, mt_unit_floats
 from repro.util.units import CACHELINE_BYTES, KIB, MIB
 from repro.workloads.profiles import WorkloadProfile
@@ -201,10 +202,11 @@ def generate_trace(
     # exhaustion (rejection runs have unbounded tails). Consumption is
     # deterministic per call signature, so remember it and peek exactly
     # next time (the grid re-generates identical traces constantly).
+    hints = current_context().words_hint
     hint_key = (
         profile.name, num_accesses, core_id, repr(seed_salt), scale_divisor
     )
-    hinted = _WORDS_CONSUMED_HINT.get(hint_key)
+    hinted = hints.get(hint_key)
     budget = hinted + 1 if hinted is not None else num_accesses * 10 + 256
     while True:
         words, block = rng.begin_raw_block(budget)
@@ -218,7 +220,9 @@ def generate_trace(
             break
         except IndexError:
             budget *= 2
-    _WORDS_CONSUMED_HINT[hint_key] = consumed
+    if len(hints) >= _WORDS_HINT_MAX:
+        hints.clear()
+    hints[hint_key] = consumed
     rng.commit_raw_block(block, budget, consumed)
     gaps, ops, lines = columns
     if base_line:
@@ -230,8 +234,12 @@ def generate_trace(
 
 #: Exact raw-word consumption per call signature, learned on first use, so
 #: repeat generations peek precisely instead of over-budgeting. Perf-only
-#: state: a miss merely costs a larger peek, never changes the trace.
-_WORDS_CONSUMED_HINT: dict = {}
+#: state: a miss merely costs a larger peek, never changes the trace. The
+#: hints live on the active :class:`~repro.simcontext.SimContext`
+#: (``words_hint``) — per-scope rather than shared-mutable across
+#: concurrent workers — and are bounded by wholesale clearing (the working
+#: set per experiment is tiny; an overflow only means re-learning budgets).
+_WORDS_HINT_MAX = 4096
 
 #: 2**-53 — scales a 53-bit draw integer to random.Random.random()'s float.
 _INV53 = float(2.0 ** -53)

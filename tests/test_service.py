@@ -27,12 +27,18 @@ from repro.sim.runner import emit_progress
 
 @pytest.fixture
 def service_factory(tmp_path):
-    """Build background services sharing one per-test cache dir."""
-    cache_dir = str(tmp_path / "service-cache")
+    """Build background services sharing one per-test cache dir.
+
+    Pass ``cache_dir=`` to give a service a *private* cache instead (the
+    worker-count comparison tests need each service to actually simulate,
+    not revive a sibling's results).
+    """
+    shared_cache_dir = str(tmp_path / "service-cache")
     running = []
 
     def build(**overrides):
-        config = ServiceConfig(port=0, cache_dir=cache_dir, **overrides)
+        overrides.setdefault("cache_dir", shared_cache_dir)
+        config = ServiceConfig(port=0, **overrides)
         service = ExperimentService(config)
         port = service.start_background()
         running.append(service)
@@ -282,6 +288,212 @@ def test_progress_event_order_is_jobs_invariant():
     assert serial == pooled
     assert serial[0]["kind"] == "suite"
     assert [e["done"] for e in serial[1:]] == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker execution plane
+# ---------------------------------------------------------------------------
+
+
+def _install_fake_experiments(monkeypatch, count):
+    """Install ``count`` deterministic fake experiments, each emitting a
+    burst of progress events and touching scoped telemetry (so concurrent
+    jobs exercise the per-slot context, not just the marshalling)."""
+    from repro.telemetry import get_registry
+
+    names = ["fakestress%d" % index for index in range(count)]
+
+    def make(name, salt):
+        def run(quiet=True):
+            counter = get_registry().counter("stress.%s" % name)
+            total = 12
+            for step in range(total):
+                counter.inc()
+                emit_progress(
+                    {
+                        "kind": "cell",
+                        "label": "%s/c%d" % (name, step),
+                        "done": step + 1,
+                        "total": total,
+                    }
+                )
+            # Deterministic payload: a function of the name only — never
+            # of scheduling, slot assignment or the counter object.
+            return {
+                "label": name,
+                "value": [salt * step % 97 for step in range(20)],
+            }
+
+        return run
+
+    for salt, name in enumerate(names, start=3):
+        monkeypatch.setitem(experiments_module.EXPERIMENTS, name, make(name, salt))
+    monkeypatch.setattr(
+        experiments_module,
+        "UNSCALED",
+        experiments_module.UNSCALED | set(names),
+    )
+    return names
+
+
+def _replay_concurrently(client, specs, repeats=2, threads=8):
+    """Submit every spec ``repeats`` times from ``threads`` client threads;
+    returns ``{spec_key: set(result_bytes)}`` plus the ticket list."""
+    work = [spec for spec in specs for _ in range(repeats)]
+    results = {}
+    tickets = []
+    lock = threading.Lock()
+    errors = []
+
+    def submit_one(spec):
+        try:
+            ticket = client.submit(spec)
+            raw = client.result_bytes(ticket["id"], max_wait_s=60.0)
+            with lock:
+                tickets.append(ticket)
+                results.setdefault(ticket["key"], set()).add(raw)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append("%s: %s" % (type(exc).__name__, exc))
+
+    crew = []
+    for index in range(threads):
+        chunk = work[index::threads]
+
+        def body(chunk=chunk):
+            for spec in chunk:
+                submit_one(spec)
+
+        crew.append(threading.Thread(target=body))
+    for thread in crew:
+        thread.start()
+    for thread in crew:
+        thread.join(120.0)
+    assert not errors, errors
+    return results, tickets
+
+
+def test_multi_worker_byte_identity_stress(
+    service_factory, monkeypatch, tmp_path
+):
+    """Interleaved unique specs at ``workers=4`` must return the same
+    bytes per spec key as a ``workers=1`` replay — and the same bytes to
+    every subscriber within each replay."""
+    names = _install_fake_experiments(monkeypatch, 6)
+    specs = [{"experiment": name} for name in names] + [
+        {"experiment": "table1"},
+        {"experiment": "sdc"},
+    ]
+
+    _pooled, pooled_client = service_factory(
+        workers=4, cache_dir=str(tmp_path / "cache-w4")
+    )
+    pooled_results, pooled_tickets = _replay_concurrently(pooled_client, specs)
+    _serial, serial_client = service_factory(
+        workers=1, cache_dir=str(tmp_path / "cache-w1")
+    )
+    serial_results, _serial_tickets = _replay_concurrently(serial_client, specs)
+
+    # Within each replay: one byte string per key, for every subscriber.
+    for results in (pooled_results, serial_results):
+        assert len(results) == len(specs)
+        divergent = {key for key, blobs in results.items() if len(blobs) > 1}
+        assert not divergent, divergent
+    # Across worker counts: identical bytes, key by key.
+    assert {k: v.pop() for k, v in pooled_results.items()} == {
+        k: v.pop() for k, v in serial_results.items()
+    }
+    # Each service simulated each unique spec exactly once (the duplicate
+    # submission either coalesced or hit a result tier).
+    assert pooled_client.stats()["service"]["runs"] == len(specs)
+    assert serial_client.stats()["service"]["runs"] == len(specs)
+    # Per-job event feeds stay dense and ordered at 4 workers.
+    for ticket in pooled_tickets[:4]:
+        events = pooled_client.stream_events(
+            ticket["id"], poll_wait_s=1.0, max_wait_s=30.0
+        )
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        assert events[-1]["kind"] == "done"
+
+
+def _install_gated_experiment(monkeypatch, name):
+    """One gated fake experiment; returns its started/release events."""
+    started = threading.Event()
+    release = threading.Event()
+
+    def run(quiet=True):
+        started.set()
+        emit_progress({"kind": "cell", "label": name + "/w0", "done": 1, "total": 2})
+        assert release.wait(30.0), "test never released %s" % name
+        emit_progress({"kind": "cell", "label": name + "/w1", "done": 2, "total": 2})
+        return {"label": name, "value": [1, 2]}
+
+    monkeypatch.setitem(experiments_module.EXPERIMENTS, name, run)
+    monkeypatch.setattr(
+        experiments_module,
+        "UNSCALED",
+        experiments_module.UNSCALED | {name},
+    )
+    return {"started": started, "release": release}
+
+
+def test_cancel_is_isolated_between_workers(service_factory, monkeypatch):
+    """Cancelling one slot's job must not perturb the job running in the
+    other slot — it completes with its full event feed and payload."""
+    slow_a = _install_gated_experiment(monkeypatch, "slowpair_a")
+    slow_b = _install_gated_experiment(monkeypatch, "slowpair_b")
+    _service, client = service_factory(workers=2)
+
+    ticket_a = client.submit({"experiment": "slowpair_a"})
+    assert slow_a["started"].wait(10.0)
+    ticket_b = client.submit({"experiment": "slowpair_b"})
+    # Both jobs are mid-flight simultaneously: that needs the second slot.
+    assert slow_b["started"].wait(10.0)
+
+    client.cancel(ticket_a["id"])
+    slow_a["release"].set()  # lets A reach its next progress check and die
+    slow_b["release"].set()
+
+    survivor = json.loads(
+        client.result_bytes(ticket_b["id"], max_wait_s=30.0)
+    )
+    assert survivor["label"] == "slowpair_b"
+    events_b = client.stream_events(
+        ticket_b["id"], poll_wait_s=1.0, max_wait_s=30.0
+    )
+    assert [event["seq"] for event in events_b] == list(range(len(events_b)))
+    cells = [e["label"] for e in events_b if e["kind"] == "cell"]
+    assert cells == ["slowpair_b/w0", "slowpair_b/w1"]
+    assert events_b[-1]["kind"] == "done"
+
+    assert client.status(ticket_a["id"])["state"] == "cancelled"
+    stats = client.stats()["service"]
+    assert stats["cancelled"] == 1
+    assert stats["runs"] == 2
+
+
+def test_worker_processes_mode_byte_identical(service_factory, tmp_path):
+    """Process-backed execution (forked child per job) returns the same
+    bytes as thread-mode execution for real specs."""
+    _threaded, thread_client = service_factory(
+        cache_dir=str(tmp_path / "cache-threads")
+    )
+    _forked, fork_client = service_factory(
+        workers=2,
+        worker_processes=True,
+        cache_dir=str(tmp_path / "cache-procs"),
+    )
+    for spec in ({"experiment": "table1"}, {"experiment": "sdc"}):
+        baseline_ticket = thread_client.submit(spec)
+        baseline = thread_client.result_bytes(
+            baseline_ticket["id"], max_wait_s=60.0
+        )
+        forked_ticket = fork_client.submit(spec)
+        assert forked_ticket["disposition"] == "accepted"
+        assert (
+            fork_client.result_bytes(forked_ticket["id"], max_wait_s=60.0)
+            == baseline
+        )
+    assert fork_client.stats()["service"]["runs"] == 2
 
 
 def test_service_eviction_end_to_end(service_factory):

@@ -295,6 +295,7 @@ class TestExecutionStats:
             "cache_misses",
             "cache_corrupt",
             "cache_evictions",
+            "memo_evictions",
             "cells_executed",
             "busy_seconds",
             "span_seconds",

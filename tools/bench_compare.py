@@ -50,6 +50,8 @@ def _end_to_end(snapshot):
 #: (label, path-into-service-section, higher_is_better)
 _SERVICE_METRICS = [
     ("throughput/s", ("throughput_per_s",), True),
+    ("unique throughput/s", ("unique_throughput_per_s",), True),
+    ("wall s", ("wall_s",), False),
     ("coalesce rate", ("coalesce_rate",), True),
     ("submit p50 s", ("latency_s", "submit", "p50"), False),
     ("submit p99 s", ("latency_s", "submit", "p99"), False),
@@ -65,6 +67,34 @@ def _service_metric(snapshot, path):
             return None
         node = node.get(part)
     return node if isinstance(node, (int, float)) else None
+
+
+def _scaling_rows(old, new):
+    """Rows for the worker-scaling comparison section (load tests run with
+    ``--compare-workers``); either side may lack it entirely."""
+    rows = []
+    old_cmp = old.get("comparison") or {}
+    new_cmp = new.get("comparison") or {}
+    if not old_cmp and not new_cmp:
+        return rows
+    before = old_cmp.get("unique_throughput_scaling")
+    after = new_cmp.get("unique_throughput_scaling")
+    if before is not None or after is not None:
+        rows.append(["unique-tp scaling", _fmt(before), _fmt(after), ""])
+    walls = sorted(
+        set(old_cmp.get("wall_s_by_workers") or {})
+        | set(new_cmp.get("wall_s_by_workers") or {})
+    )
+    for workers in walls:
+        before = (old_cmp.get("wall_s_by_workers") or {}).get(workers)
+        after = (new_cmp.get("wall_s_by_workers") or {}).get(workers)
+        ratio = ""
+        if isinstance(before, (int, float)) and isinstance(after, (int, float)):
+            ratio = "%.2fx" % (before / after) if after else "-"
+        rows.append(
+            ["wall s @ workers=%s" % workers, _fmt(before), _fmt(after), ratio]
+        )
+    return rows
 
 
 def _service_rows(old, new):
@@ -157,7 +187,7 @@ def main() -> int:
 
     old, new = _load(args.old), _load(args.new)
     micro_rows, e2e_rows, regressions = compare(old, new)
-    service_rows = _service_rows(old, new)
+    service_rows = _service_rows(old, new) + _scaling_rows(old, new)
     if not micro_rows and not e2e_rows and not service_rows:
         print(
             "no comparable sections between %s and %s (disjoint snapshots)"
