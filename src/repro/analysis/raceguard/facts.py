@@ -1,0 +1,541 @@
+"""Per-function facts for raceguard: accesses, edges, spawns, hazards.
+
+One pass over each function's scoped AST produces everything the C4xx
+rules and the call graph need:
+
+* ``calls``/``refs`` — resolved edges to other project functions.  A
+  *reference* edge is any non-call mention of a known function (a closure
+  handed to ``submit``, a thread target, ``parallel_map``'s first
+  argument): first-order callbacks become graph edges without needing to
+  model the spawning machinery's internals.
+* ``reads``/``mutations`` — which project globals the function touches,
+  and how (rebind under ``global``, subscript/attribute store, aug-assign,
+  ``del``, or a mutating method call such as ``.update``/``.reset``).
+* ``spawns`` — concurrency entry points created here: ``Thread(target=)``,
+  ``Process(target=)``, ``executor.submit``, ``loop.run_in_executor``,
+  ``pool.map`` and ``parallel_map`` fan-outs.
+* Candidate C403 escapes (a ``SimContext``-owned container returned or
+  stored into a module global), C404 import-time context accessor calls,
+  and C405 lock-free check-then-act shapes — the whole-program rules
+  filter these by kind and reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.raceguard.model import (
+    MODULE_FUNCTION,
+    MUTATING_METHODS,
+    FunctionInfo,
+    FunctionScope,
+    ModuleInfo,
+    Project,
+    Resolved,
+    collect_scope,
+    dotted_parts,
+    resolve_method,
+    resolve_parts,
+    scope_roots,
+    scoped_walk,
+)
+
+#: The context accessors whose *import-time* call C404 flags: each resolves
+#: per-``SimContext`` state, so binding its result at import time freezes
+#: one context's slice into module scope for every future context.
+CONTEXT_ACCESSORS = frozenset(
+    (
+        "repro.simcontext.current_context",
+        "repro.telemetry.registry.get_registry",
+        "repro.telemetry.trace.get_tracer",
+        "repro.parallel.instrument.current_stats",
+        "repro.telemetry.aggregate.current_aggregate",
+        "repro.parallel.context.get_context",
+    )
+)
+
+#: Basenames of the factories whose result is an active ``SimContext``.
+_CONTEXT_FACTORIES = frozenset(("current_context", "default_context"))
+
+#: ``SimContext`` attributes that are owned mutable containers; letting one
+#: escape its scope is exactly the cross-context sharing PR 8 removed.
+CONTEXT_OWNED_ATTRS = frozenset(
+    ("trace_memo", "warm_memo", "run_memo", "words_hint", "registry_stack")
+)
+
+#: Receiver names for which a bare ``.map(fn, ...)`` is a pool fan-out.
+_POOL_RECEIVERS = frozenset(("pool", "executor"))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call or reference from ``caller`` to ``callee``."""
+
+    caller: str
+    callee: str
+    lineno: int
+    kind: str  #: "call" | "ref"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One write to project-global state."""
+
+    target: str  #: global qualname
+    function: str  #: mutating function qualname
+    path: str
+    lineno: int
+    kind: str  #: "rebind" | "store" | "aug" | "del" | "call"
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """One concurrency entry point: ``target`` starts running concurrently."""
+
+    target: str  #: entry function qualname
+    mechanism: str  #: "thread" | "process" | "submit" | "run_in_executor" | ...
+    spawner: str
+    path: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class Escape:
+    """C403 candidate: a context-owned value leaving its scope."""
+
+    attr: str  #: the owned SimContext attribute
+    how: str  #: "returned" | "stored into <global>"
+    function: str
+    path: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class ImportTimeAccess:
+    """C404 candidate: a context accessor called at import time."""
+
+    accessor: str
+    function: str
+    path: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class CheckThenAct:
+    """C405 candidate: ``if <reads G>: <mutates G>`` with no lock around."""
+
+    target: str  #: global qualname
+    function: str
+    path: str
+    lineno: int  #: the ``if`` line
+
+
+@dataclass
+class FunctionFacts:
+    """Everything one function contributes to the whole-program analysis."""
+
+    function: str
+    path: str
+    edges: List[Edge] = field(default_factory=list)
+    reads: Set[str] = field(default_factory=set)
+    mutations: List[Mutation] = field(default_factory=list)
+    spawns: List[Spawn] = field(default_factory=list)
+    escapes: List[Escape] = field(default_factory=list)
+    import_time: List[ImportTimeAccess] = field(default_factory=list)
+    check_then_act: List[CheckThenAct] = field(default_factory=list)
+
+
+class _FactsBuilder:
+    def __init__(self, project: Project, module: ModuleInfo, fn: FunctionInfo) -> None:
+        self.project = project
+        self.module = module
+        self.fn = fn
+        self.scope: Optional[FunctionScope] = collect_scope(project, module, fn)
+        self.facts = FunctionFacts(function=fn.qualname, path=module.path)
+        self.consumed: Set[int] = set()
+        self.context_names: Set[str] = set()
+        self.tainted: Set[str] = set()
+        self.has_lock = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[Resolved]:
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        return resolve_parts(self.project, self.module, self.scope, parts)
+
+    def consume_chain(self, node: ast.AST) -> None:
+        while isinstance(node, ast.Attribute):
+            self.consumed.add(id(node))
+            node = node.value
+        if isinstance(node, ast.Name):
+            self.consumed.add(id(node))
+
+    def global_state_of(self, resolved: Optional[Resolved]) -> Optional[str]:
+        if resolved is not None and resolved.kind == "global":
+            return resolved.qualname
+        return None
+
+    def add_edge(self, callee: str, lineno: int, kind: str) -> None:
+        self.facts.edges.append(
+            Edge(caller=self.fn.qualname, callee=callee, lineno=lineno, kind=kind)
+        )
+
+    def record_mutation(self, target: str, lineno: int, kind: str) -> None:
+        self.facts.mutations.append(
+            Mutation(
+                target=target,
+                function=self.fn.qualname,
+                path=self.module.path,
+                lineno=lineno,
+                kind=kind,
+            )
+        )
+
+    # -- taint (C403) ------------------------------------------------------
+
+    def is_context_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        parts = dotted_parts(node.func)
+        if not parts or parts[-1] not in _CONTEXT_FACTORIES:
+            return False
+        resolved = resolve_parts(self.project, self.module, self.scope, parts)
+        return resolved is not None and resolved.kind in ("function", "external")
+
+    def owned_attr(self, node: ast.AST) -> str:
+        """The owned-attr name when ``node`` is ``<context>.<owned>``."""
+        if not isinstance(node, ast.Attribute) or node.attr not in CONTEXT_OWNED_ATTRS:
+            return ""
+        base = node.value
+        if self.is_context_call(base):
+            return node.attr
+        if isinstance(base, ast.Name) and base.id in self.context_names:
+            return node.attr
+        return ""
+
+    def tainted_attr_of(self, node: ast.AST) -> str:
+        """Owned-attr provenance of an expression ('' when untainted)."""
+        direct = self.owned_attr(node)
+        if direct:
+            return direct
+        if isinstance(node, ast.Name) and node.id in self.tainted:
+            return "context-owned"
+        return ""
+
+    # -- main walk ---------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        include_class = self.fn.name == MODULE_FUNCTION
+        roots = scope_roots(self.fn)
+        # Taint pre-pass: which locals hold the active context / its
+        # owned containers (statement order is irrelevant for safety).
+        for node in scoped_walk(roots, include_class_bodies=include_class):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self.is_context_call(node.value):
+                        self.context_names.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    text = ast.unparse(item.context_expr).lower()
+                    if "lock" in text or "mutex" in text:
+                        self.has_lock = True
+        for node in scoped_walk(roots, include_class_bodies=include_class):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self.owned_attr(node.value):
+                    self.tainted.add(target.id)
+
+        nodes = list(scoped_walk(roots, include_class_bodies=include_class))
+        for node in nodes:
+            if id(node) in self.consumed:
+                continue
+            if isinstance(node, ast.Call):
+                self.visit_call(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self.visit_assign(node)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self.visit_store_target(target, node.lineno, "del")
+            elif isinstance(node, ast.Return):
+                self.visit_return(node)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                self.visit_load(node)
+        if self.fn.name != MODULE_FUNCTION:
+            self.detect_check_then_act(nodes)
+        return self.facts
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_call(self, node: ast.Call) -> None:
+        self.detect_spawn(node)
+        resolved = self.resolve(node.func)
+        if resolved is None:
+            return
+        self.consume_chain(node.func)
+        if resolved.kind == "function" and not resolved.remainder:
+            self.add_edge(resolved.qualname, node.lineno, "call")
+            self.detect_import_time_access(resolved, node)
+        elif resolved.kind == "class" and not resolved.remainder:
+            init = resolve_method(self.project, resolved.qualname, "__init__")
+            if init is not None:
+                self.add_edge(init, node.lineno, "call")
+        elif resolved.kind == "global":
+            state = self.project.globals_.get(resolved.qualname)
+            self.facts.reads.add(resolved.qualname)
+            if len(resolved.remainder) == 1:
+                method_name = resolved.remainder[0]
+                if method_name in MUTATING_METHODS:
+                    self.record_mutation(resolved.qualname, node.lineno, "call")
+                if state is not None and state.class_qualname:
+                    method = resolve_method(
+                        self.project, state.class_qualname, method_name
+                    )
+                    if method is not None:
+                        self.add_edge(method, node.lineno, "call")
+                if (
+                    method_name == "get"
+                    and state is not None
+                    and state.kind == "scoped"
+                    and "ContextVar" in state.describe
+                ):
+                    self.detect_import_time_access(resolved, node)
+        elif resolved.kind == "external":
+            self.detect_import_time_access(resolved, node)
+
+    def detect_import_time_access(self, resolved: Resolved, node: ast.Call) -> None:
+        if self.fn.name != MODULE_FUNCTION:
+            return
+        accessor = ""
+        if resolved.qualname in CONTEXT_ACCESSORS:
+            accessor = resolved.qualname
+        elif resolved.kind == "global" and resolved.remainder == ("get",):
+            accessor = resolved.qualname + ".get"
+        if accessor:
+            self.facts.import_time.append(
+                ImportTimeAccess(
+                    accessor=accessor,
+                    function=self.fn.qualname,
+                    path=self.module.path,
+                    lineno=node.lineno,
+                )
+            )
+
+    def detect_spawn(self, node: ast.Call) -> None:
+        func = node.func
+        mechanism = ""
+        target_expr: Optional[ast.expr] = None
+        name = ""
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in ("Thread", "Process"):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    mechanism = "thread" if name == "Thread" else "process"
+                    target_expr = keyword.value
+        elif name == "submit" and isinstance(func, ast.Attribute) and node.args:
+            mechanism, target_expr = "submit", node.args[0]
+        elif (
+            name == "run_in_executor"
+            and isinstance(func, ast.Attribute)
+            and len(node.args) >= 2
+        ):
+            mechanism, target_expr = "run_in_executor", node.args[1]
+        elif (
+            name == "map"
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _POOL_RECEIVERS
+            and node.args
+        ):
+            mechanism, target_expr = "pool.map", node.args[0]
+        elif name == "parallel_map" and node.args:
+            resolved = self.resolve(func)
+            if resolved is not None and resolved.qualname.split(".")[-1] == "parallel_map":
+                mechanism, target_expr = "parallel_map", node.args[0]
+        if target_expr is None or not mechanism:
+            return
+        resolved_target = self.resolve(target_expr)
+        if resolved_target is None:
+            return
+        target = ""
+        if resolved_target.kind == "function" and not resolved_target.remainder:
+            target = resolved_target.qualname
+        elif resolved_target.kind == "class" and not resolved_target.remainder:
+            init = resolve_method(self.project, resolved_target.qualname, "__init__")
+            target = init or ""
+        if target:
+            self.facts.spawns.append(
+                Spawn(
+                    target=target,
+                    mechanism=mechanism,
+                    spawner=self.fn.qualname,
+                    path=self.module.path,
+                    lineno=node.lineno,
+                )
+            )
+
+    def visit_assign(
+        self, node: "ast.Assign | ast.AnnAssign | ast.AugAssign"
+    ) -> None:
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        kind = "aug" if isinstance(node, ast.AugAssign) else "rebind"
+        for target in targets:
+            self.visit_store_target(target, node.lineno, kind)
+        value = node.value
+        if value is not None:
+            attr = self.tainted_attr_of(value)
+            if attr:
+                for target in targets:
+                    stored = self.escape_target(target)
+                    if stored:
+                        self.facts.escapes.append(
+                            Escape(
+                                attr=attr,
+                                how="stored into %s" % stored,
+                                function=self.fn.qualname,
+                                path=self.module.path,
+                                lineno=node.lineno,
+                            )
+                        )
+
+    def escape_target(self, target: ast.expr) -> str:
+        """Global qualname a store lands in, for C403 ('' when local)."""
+        if self.fn.name == MODULE_FUNCTION:
+            return ""  # import-time binding is the definition site, not escape
+        chain: ast.AST = target
+        if isinstance(target, ast.Subscript):
+            chain = target.value
+        resolved = self.resolve(chain)
+        if resolved is not None and resolved.kind == "global":
+            return resolved.qualname
+        return ""
+
+    def visit_store_target(self, target: ast.expr, lineno: int, kind: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.visit_store_target(element, lineno, kind)
+            return
+        if isinstance(target, ast.Starred):
+            self.visit_store_target(target.value, lineno, kind)
+            return
+        if isinstance(target, ast.Name):
+            if self.fn.name == MODULE_FUNCTION:
+                return  # module-level assignment is the binding site
+            if self.scope is not None and target.id in self.scope.global_decls:
+                resolved = self.resolve(target)
+                qual = self.global_state_of(resolved)
+                if qual is not None:
+                    self.consume_chain(target)
+                    self.record_mutation(qual, lineno, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            resolved = self.resolve(target.value)
+            qual = self.global_state_of(resolved)
+            if qual is not None:
+                self.consume_chain(target.value)
+                self.facts.reads.add(qual)
+                if self.fn.name != MODULE_FUNCTION:
+                    self.record_mutation(qual, lineno, "store")
+            return
+        if isinstance(target, ast.Attribute):
+            resolved = self.resolve(target)
+            qual = self.global_state_of(resolved)
+            if qual is not None:
+                self.consume_chain(target)
+                state = self.project.globals_.get(qual)
+                if state is not None and state.kind == "scoped":
+                    return  # threading.local attribute stores are the point
+                self.facts.reads.add(qual)
+                if self.fn.name != MODULE_FUNCTION:
+                    mutation_kind = "rebind" if not resolved.remainder else "store"
+                    self.record_mutation(qual, lineno, mutation_kind)
+
+    def visit_return(self, node: ast.Return) -> None:
+        if node.value is None or self.fn.name == MODULE_FUNCTION:
+            return
+        attr = self.owned_attr(node.value)
+        if not attr and isinstance(node.value, ast.Name) and node.value.id in self.tainted:
+            attr = "context-owned"
+        if attr:
+            self.facts.escapes.append(
+                Escape(
+                    attr=attr,
+                    how="returned",
+                    function=self.fn.qualname,
+                    path=self.module.path,
+                    lineno=node.lineno,
+                )
+            )
+
+    def visit_load(self, node: "ast.Attribute | ast.Name") -> None:
+        if not isinstance(getattr(node, "ctx", None), ast.Load):
+            return
+        resolved = self.resolve(node)
+        if resolved is None:
+            return
+        self.consume_chain(node)
+        if resolved.kind == "global":
+            self.facts.reads.add(resolved.qualname)
+        elif resolved.kind == "function" and not resolved.remainder:
+            self.add_edge(resolved.qualname, node.lineno, "ref")
+
+    # -- C405 --------------------------------------------------------------
+
+    def detect_check_then_act(self, nodes: Sequence[ast.AST]) -> None:
+        if self.has_lock or not self.facts.mutations:
+            return
+        for node in nodes:
+            if not isinstance(node, ast.If):
+                continue
+            test_globals: Set[str] = set()
+            for sub in ast.walk(node.test):
+                if isinstance(sub, (ast.Name, ast.Attribute)):
+                    resolved = self.resolve(sub)
+                    qual = self.global_state_of(resolved)
+                    if qual is not None:
+                        test_globals.add(qual)
+            if not test_globals:
+                continue
+            start = node.body[0].lineno
+            end = max(
+                int(stmt.end_lineno or stmt.lineno) for stmt in node.body
+            )
+            for mutation in self.facts.mutations:
+                if mutation.target in test_globals and start <= mutation.lineno <= end:
+                    self.facts.check_then_act.append(
+                        CheckThenAct(
+                            target=mutation.target,
+                            function=self.fn.qualname,
+                            path=self.module.path,
+                            lineno=node.lineno,
+                        )
+                    )
+                    break
+
+
+def compute_facts(project: Project) -> Dict[str, FunctionFacts]:
+    """Facts for every function in the project, keyed by qualname."""
+    out: Dict[str, FunctionFacts] = {}
+    for qualname, fn in project.functions.items():
+        module = project.modules.get(fn.module)
+        if module is None:
+            continue
+        out[qualname] = _FactsBuilder(project, module, fn).run()
+    return out
+
+
+def global_lineno(project: Project, qualname: str) -> Tuple[str, int]:
+    """(path, definition line) of a project global, for reporting."""
+    state = project.globals_[qualname]
+    return state.path, state.lineno

@@ -1,0 +1,843 @@
+"""Whole-program model for the raceguard concurrency analysis.
+
+The per-file rules in :mod:`repro.analysis.rules` see one parsed module at
+a time; the C4xx family needs to see the *project*: which module-level
+names hold mutable state, which functions touch them, and how calls thread
+from the concurrent entry points into that state.  This module builds that
+picture:
+
+* :func:`build_project` parses every file into :class:`ModuleInfo` records
+  (imports, top-level functions, classes with methods, module globals) and
+  links them — class bases resolved to project classes, ``self.x``
+  attribute types recovered from ``__init__``, and every module global
+  classified by a small type heuristic (:data:`KIND_CONTAINER`,
+  :data:`KIND_SINGLETON`, :data:`KIND_SCOPED`, …).
+* :func:`resolve_parts` answers "what does the dotted name ``a.b.c`` mean
+  inside this function?" — following ``import`` aliases, re-export chains,
+  ``self`` through the owning class (methods via base-class lookup,
+  attributes via the recovered ``__init__`` types), and locals assigned
+  from known constructors.
+
+Everything here is pure AST analysis: the code under inspection is never
+imported, so the analyzer can safely run over broken or hostile trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+MODULE_FUNCTION = "<module>"
+
+#: Classification of a module-level (or class-level) binding's value.
+KIND_IMMUTABLE = "immutable"  #: constants, tuples, frozen/empty-slots types
+KIND_CONTAINER = "container"  #: dict/list/set/bytearray/deque literal or call
+KIND_SINGLETON = "singleton"  #: instance of a project class with state
+KIND_SCOPED = "scoped"  #: ContextVar / threading.local / locks — safe by design
+KIND_OPAQUE = "opaque"  #: couldn't classify; treated as mutable when mutated
+
+#: Kinds the C401 reachability rule considers shared mutable state.
+MUTABLE_KINDS = frozenset((KIND_CONTAINER, KIND_SINGLETON, KIND_OPAQUE))
+
+_MUTABLE_FACTORIES = frozenset(
+    (
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "Counter",
+        "OrderedDict",
+        "collections.deque",
+        "collections.defaultdict",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "queue.Queue",
+        "Queue",
+    )
+)
+
+_SCOPED_FACTORIES = frozenset(
+    (
+        "ContextVar",
+        "contextvars.ContextVar",
+        "threading.local",
+        "local",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "asyncio.Lock",
+    )
+)
+
+_IMMUTABLE_FACTORIES = frozenset(
+    (
+        "frozenset",
+        "tuple",
+        "object",
+        "TypeVar",
+        "typing.TypeVar",
+        "re.compile",
+        "namedtuple",
+        "collections.namedtuple",
+        "field",
+        "dataclasses.field",
+    )
+)
+
+#: Method names that mutate their receiver — evidence that a global
+#: container/singleton is written through its module-level name.
+MUTATING_METHODS = frozenset(
+    (
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "put",
+        "remove",
+        "reset",
+        "setdefault",
+        "update",
+    )
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """The meaning of a dotted name: what it names plus unconsumed attrs."""
+
+    kind: str  #: "module" | "function" | "class" | "global" | "external"
+    qualname: str
+    remainder: Tuple[str, ...] = ()
+
+
+@dataclass
+class GlobalState:
+    """One module-level (or shared class-level) binding and its heuristics."""
+
+    qualname: str  #: e.g. ``repro.sim.runner._TRACE_MEMO_MAX``
+    module: str
+    name: str  #: bare name (``Cls.attr`` for class-level state)
+    path: str
+    lineno: int
+    kind: str
+    describe: str  #: short rendering of the bound value, for messages
+    class_qualname: str = ""  #: project class of a singleton value, if known
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, nested def, or the ``<module>`` pseudo-function."""
+
+    module: str
+    name: str  #: qualname within the module (``Cls.meth``, ``<module>``)
+    qualname: str
+    node: FunctionNode
+    lineno: int
+    class_name: str = ""  #: enclosing class (module-local qualname) for methods
+    local_functions: Dict[str, str] = field(default_factory=dict)
+    local_classes: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, base names, shared mutable attrs, self-attr types."""
+
+    module: str
+    name: str  #: qualname within the module
+    qualname: str
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    resolved_bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)  #: name -> fn qualname
+    init_self_attrs: Set[str] = field(default_factory=set)
+    attr_types: Dict[str, str] = field(default_factory=dict)  #: self.x class
+    mutable_attrs: Dict[str, str] = field(default_factory=dict)  #: attr -> global
+    decorators: List[str] = field(default_factory=list)
+    has_empty_slots: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file and its module-level namespace."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    lines: List[str]
+    imports: Dict[str, str] = field(default_factory=dict)
+    top_functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    globals_: Dict[str, GlobalState] = field(default_factory=dict)
+    global_values: Dict[str, ast.expr] = field(default_factory=dict)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class Project:
+    """Every parsed module plus the cross-module symbol tables."""
+
+    root: Path
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    globals_: Dict[str, GlobalState] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionScope:
+    """Name-binding facts needed to resolve identifiers inside one function."""
+
+    bound: Set[str] = field(default_factory=set)
+    global_decls: Set[str] = field(default_factory=set)
+    local_functions: Dict[str, str] = field(default_factory=dict)
+    var_types: Dict[str, str] = field(default_factory=dict)
+    class_name: str = ""
+
+
+def module_name_for(rel_path: Path) -> str:
+    """Dotted module name for a path relative to the project root.
+
+    A leading ``src/`` layout component is stripped, so ``src/repro/x.py``
+    and ``tools/load_test.py`` become ``repro.x`` and ``tools.load_test``.
+    """
+    parts = list(rel_path.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return rel_path.stem
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    return ".".join(parts) if parts else rel_path.stem
+
+
+def dotted_parts(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` attribute chains as parts; ``()`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def scoped_walk(
+    roots: Sequence[ast.AST], include_class_bodies: bool = False
+) -> Iterator[ast.AST]:
+    """Walk nodes that execute in this scope, skipping nested def bodies.
+
+    With ``include_class_bodies`` (the ``<module>`` pseudo-function), class
+    bodies are included — they run at import time — while method bodies
+    still are not.
+    """
+    todo: "deque[ast.AST]" = deque(roots)
+    while todo:
+        node = todo.popleft()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # The def's body runs when called, not here — but its
+            # decorators and default values evaluate in this scope.
+            todo.extend(node.decorator_list)
+            todo.extend(d for d in node.args.defaults)
+            todo.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, ast.ClassDef) and not include_class_bodies:
+            todo.extend(node.decorator_list)
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def scope_roots(fn: FunctionInfo) -> Sequence[ast.AST]:
+    """The statements executing inside ``fn``'s own scope."""
+    return list(fn.node.body)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def collect_scope(project: "Project", module: ModuleInfo, fn: FunctionInfo) -> FunctionScope:
+    """Locals, ``global`` declarations, and constructor-typed vars of ``fn``."""
+    scope = FunctionScope(class_name=fn.class_name)
+    scope.local_functions = dict(fn.local_functions)
+    scope.bound.update(fn.local_functions)
+    scope.bound.update(fn.local_classes)
+    if isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = fn.node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            scope.bound.add(arg.arg)
+    include_class = fn.name == MODULE_FUNCTION
+    for node in scoped_walk(scope_roots(fn), include_class_bodies=include_class):
+        if isinstance(node, ast.Global):
+            scope.global_decls.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                scope.bound.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            scope.bound.update(_target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            scope.bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            scope.bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    scope.bound.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                scope.bound.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            scope.bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            # Module-level imports resolve through ``module.imports`` (the
+            # C404 rule needs import-time calls of imported accessors to
+            # resolve); only function-local imports shadow.
+            if fn.name != MODULE_FUNCTION:
+                for alias in node.names:
+                    scope.bound.add((alias.asname or alias.name).split(".")[0])
+    scope.bound -= scope.global_decls
+    # Constructor-typed locals: ``x = SomeClass(...)`` lets ``x.method()``
+    # resolve.  Pre-pass so statement order cannot matter.
+    for node in scoped_walk(scope_roots(fn), include_class_bodies=include_class):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and isinstance(node.value, ast.Call)):
+            continue
+        parts = dotted_parts(node.value.func)
+        if not parts:
+            continue
+        resolved = resolve_parts(project, module, None, parts)
+        if resolved is not None and resolved.kind == "class" and not resolved.remainder:
+            scope.var_types[target.id] = resolved.qualname
+    return scope
+
+
+# ---------------------------------------------------------------------------
+# Name resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_method(
+    project: Project, class_qualname: str, name: str, _seen: Optional[Set[str]] = None
+) -> Optional[str]:
+    """Find ``name`` on a class or its project bases; returns fn qualname."""
+    seen = _seen if _seen is not None else set()
+    if class_qualname in seen:
+        return None
+    seen.add(class_qualname)
+    cls = project.classes.get(class_qualname)
+    if cls is None:
+        return None
+    if name in cls.methods:
+        return cls.methods[name]
+    for base in cls.resolved_bases:
+        found = resolve_method(project, base, name, seen)
+        if found is not None:
+            return found
+    return None
+
+
+def _resolve_class_member(
+    project: Project, class_qualname: str, rest: Tuple[str, ...]
+) -> Optional[Resolved]:
+    if not rest:
+        return Resolved("class", class_qualname, ())
+    name, remainder = rest[0], rest[1:]
+    method = resolve_method(project, class_qualname, name)
+    if method is not None:
+        return Resolved("function", method, remainder)
+    cls = project.classes.get(class_qualname)
+    if cls is not None and name in cls.mutable_attrs:
+        return Resolved("global", cls.mutable_attrs[name], remainder)
+    if cls is not None and name in cls.attr_types:
+        return _resolve_class_member(project, cls.attr_types[name], remainder)
+    return Resolved("class", class_qualname, rest)
+
+
+def lookup_qualified(
+    project: Project, parts: Tuple[str, ...], _visited: Optional[Set[Tuple[str, str]]] = None
+) -> Optional[Resolved]:
+    """Resolve a fully-dotted path against the project's modules."""
+    visited = _visited if _visited is not None else set()
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        if module_name in project.modules:
+            break
+    else:
+        return Resolved("external", ".".join(parts), ())
+    module = project.modules[module_name]
+    rest = parts[cut:]
+    if not rest:
+        return Resolved("module", module_name, ())
+    name, remainder = rest[0], tuple(rest[1:])
+    if name in module.top_functions:
+        return Resolved("function", module.top_functions[name], remainder)
+    if name in module.classes:
+        return _resolve_class_member(project, module.classes[name].qualname, remainder)
+    if name in module.globals_:
+        return Resolved("global", module.name + "." + name, remainder)
+    if name in module.imports:
+        key = (module_name, name)
+        if key in visited:
+            return None
+        visited.add(key)
+        target = tuple(module.imports[name].split(".")) + remainder
+        return lookup_qualified(project, target, visited)
+    return None
+
+
+def _resolve_self(
+    project: Project, module: ModuleInfo, scope: FunctionScope, parts: Tuple[str, ...]
+) -> Optional[Resolved]:
+    if len(parts) < 2:
+        return None
+    class_qualname = module.name + "." + scope.class_name
+    cls = project.classes.get(class_qualname)
+    if cls is None:
+        return None
+    name, remainder = parts[1], tuple(parts[2:])
+    method = resolve_method(project, class_qualname, name)
+    if method is not None:
+        return Resolved("function", method, remainder)
+    if name in cls.mutable_attrs and name not in cls.init_self_attrs:
+        return Resolved("global", cls.mutable_attrs[name], remainder)
+    if name in cls.attr_types:
+        return _resolve_class_member(project, cls.attr_types[name], remainder)
+    return None
+
+
+def resolve_parts(
+    project: Project,
+    module: ModuleInfo,
+    scope: Optional[FunctionScope],
+    parts: Tuple[str, ...],
+) -> Optional[Resolved]:
+    """What ``parts`` names inside ``module`` (and optionally a function)."""
+    if not parts:
+        return None
+    head = parts[0]
+    if scope is not None:
+        if head == "self" and scope.class_name:
+            return _resolve_self(project, module, scope, parts)
+        if head in scope.global_decls:
+            return lookup_qualified(project, (module.name,) + parts)
+        if head in scope.local_functions:
+            return Resolved(
+                "function", module.name + "." + scope.local_functions[head], parts[1:]
+            )
+        if head in scope.var_types:
+            return _resolve_class_member(project, scope.var_types[head], parts[1:])
+        if head in scope.bound:
+            return None
+    if head in module.imports:
+        target = tuple(module.imports[head].split(".")) + parts[1:]
+        return lookup_qualified(project, target)
+    if (
+        head in module.globals_
+        or head in module.top_functions
+        or head in module.classes
+    ):
+        return lookup_qualified(project, (module.name,) + parts)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Parsing and linking
+# ---------------------------------------------------------------------------
+
+
+def _record_imports(module: ModuleInfo, package: str) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    module.imports.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package.split(".") if package else []
+                # level 1 = current package, 2 = parent, ...
+                keep = len(base_parts) - (node.level - 1)
+                base = ".".join(base_parts[:keep]) if keep > 0 else ""
+            else:
+                base = node.module or ""
+            if node.level and node.module:
+                base = base + "." + node.module if base else node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = (base + "." + alias.name) if base else alias.name
+
+
+def _collect_defs(
+    project: Project,
+    module: ModuleInfo,
+    body: Sequence[ast.stmt],
+    prefix: str,
+    class_name: str,
+    parent: Optional[FunctionInfo],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local_name = prefix + stmt.name if prefix else stmt.name
+            qualname = module.name + "." + local_name
+            fn = FunctionInfo(
+                module=module.name,
+                name=local_name,
+                qualname=qualname,
+                node=stmt,
+                lineno=stmt.lineno,
+                class_name=class_name,
+            )
+            project.functions[qualname] = fn
+            if not prefix:
+                module.top_functions[stmt.name] = qualname
+            if class_name and prefix == class_name + ".":
+                cls = module.classes.get(class_name)
+                if cls is not None and stmt.name not in cls.methods:
+                    cls.methods[stmt.name] = qualname
+            if parent is not None:
+                parent.local_functions[stmt.name] = local_name
+            _collect_defs(
+                project, module, stmt.body, local_name + ".<locals>.", "", fn
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            local_name = prefix + stmt.name if prefix else stmt.name
+            qualname = module.name + "." + local_name
+            cls = ClassInfo(
+                module=module.name,
+                name=local_name,
+                qualname=qualname,
+                node=stmt,
+                base_names=[
+                    ".".join(dotted_parts(base))
+                    for base in stmt.bases
+                    if dotted_parts(base)
+                ],
+                decorators=[
+                    ".".join(dotted_parts(dec.func if isinstance(dec, ast.Call) else dec))
+                    for dec in stmt.decorator_list
+                    if dotted_parts(dec.func if isinstance(dec, ast.Call) else dec)
+                ],
+            )
+            project.classes[qualname] = cls
+            if not prefix:
+                module.classes[stmt.name] = cls
+            if parent is not None:
+                parent.local_classes.add(stmt.name)
+            _collect_defs(project, module, stmt.body, local_name + ".", local_name, None)
+
+
+def _module_globals(module: ModuleInfo) -> None:
+    """Record module-level assignments (value nodes kept for classification)."""
+    statements: List[ast.stmt] = list(module.tree.body)
+    # Also look one level into top-level ``if``/``try`` — conditional
+    # constants (version shims) are still module state.
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.If):
+            statements.extend(stmt.body)
+            statements.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            statements.extend(stmt.body)
+            for handler in stmt.handlers:
+                statements.extend(handler.body)
+    for stmt in statements:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            for name in _target_names(target):
+                if name in module.global_values:
+                    continue
+                module.global_values[name] = value
+                module.globals_[name] = GlobalState(
+                    qualname=module.name + "." + name,
+                    module=module.name,
+                    name=name,
+                    path=module.path,
+                    lineno=stmt.lineno,
+                    kind=KIND_OPAQUE,
+                    describe="",
+                )
+
+
+def _render_value(value: ast.expr) -> str:
+    try:
+        text = ast.unparse(value)
+    except ValueError:  # pragma: no cover - malformed synthetic node
+        return ""
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _class_is_immutable(cls: ClassInfo) -> bool:
+    if any(dec.split(".")[-1] == "dataclass" for dec in cls.decorators):
+        for dec in cls.node.decorator_list:
+            if isinstance(dec, ast.Call):
+                for keyword in dec.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+        return False
+    if cls.has_empty_slots:
+        return True
+    return any(base.split(".")[-1] in ("NamedTuple", "Enum", "IntEnum") for base in cls.base_names)
+
+
+def classify_value(
+    project: Project, module: ModuleInfo, value: ast.expr
+) -> Tuple[str, str]:
+    """(kind, singleton class qualname) for one bound value expression."""
+    if isinstance(value, ast.Constant):
+        return KIND_IMMUTABLE, ""
+    if isinstance(value, ast.Tuple):
+        kinds = [classify_value(project, module, e)[0] for e in value.elts]
+        if any(kind in (KIND_CONTAINER, KIND_SINGLETON) for kind in kinds):
+            return KIND_OPAQUE, ""
+        return KIND_IMMUTABLE, ""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return KIND_CONTAINER, ""
+    if isinstance(value, ast.UnaryOp):
+        return classify_value(project, module, value.operand)
+    if isinstance(value, ast.BinOp):
+        left = classify_value(project, module, value.left)[0]
+        right = classify_value(project, module, value.right)[0]
+        if KIND_CONTAINER in (left, right):
+            return KIND_CONTAINER, ""
+        if KIND_IMMUTABLE == left == right:
+            return KIND_IMMUTABLE, ""
+        return KIND_OPAQUE, ""
+    if isinstance(value, ast.IfExp):
+        body = classify_value(project, module, value.body)
+        orelse = classify_value(project, module, value.orelse)
+        for candidate in (body, orelse):
+            if candidate[0] != KIND_IMMUTABLE:
+                return candidate
+        return KIND_IMMUTABLE, ""
+    if isinstance(value, ast.Call):
+        parts = dotted_parts(value.func)
+        if not parts:
+            return KIND_OPAQUE, ""
+        dotted = ".".join(parts)
+        resolved = resolve_parts(project, module, None, parts)
+        candidates = {dotted, parts[-1]}
+        if resolved is not None:
+            candidates.add(resolved.qualname)
+            candidates.add(resolved.qualname.split(".")[-1])
+        if candidates & _SCOPED_FACTORIES:
+            return KIND_SCOPED, ""
+        if candidates & _MUTABLE_FACTORIES:
+            return KIND_CONTAINER, ""
+        if candidates & _IMMUTABLE_FACTORIES:
+            return KIND_IMMUTABLE, ""
+        if resolved is not None and resolved.kind == "class" and not resolved.remainder:
+            cls = project.classes.get(resolved.qualname)
+            if cls is not None and _class_is_immutable(cls):
+                return KIND_IMMUTABLE, resolved.qualname
+            return KIND_SINGLETON, resolved.qualname
+        return KIND_OPAQUE, ""
+    return KIND_OPAQUE, ""
+
+
+def _link_classes(project: Project) -> None:
+    for cls in project.classes.values():
+        module = project.modules[cls.module]
+        for base in cls.base_names:
+            resolved = resolve_parts(project, module, None, tuple(base.split(".")))
+            if resolved is not None and resolved.kind == "class":
+                cls.resolved_bases.append(resolved.qualname)
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    if isinstance(stmt.value, (ast.Tuple, ast.List)) and not stmt.value.elts:
+                        cls.has_empty_slots = True
+        init = cls.methods.get("__init__")
+        if init is None:
+            continue
+        init_fn = project.functions[init]
+        for node in scoped_walk(scope_roots(init_fn)):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.init_self_attrs.add(target.attr)
+                    if isinstance(node.value, ast.Call):
+                        parts = dotted_parts(node.value.func)
+                        resolved = (
+                            resolve_parts(project, module, None, parts) if parts else None
+                        )
+                        if (
+                            resolved is not None
+                            and resolved.kind == "class"
+                            and not resolved.remainder
+                        ):
+                            cls.attr_types[target.attr] = resolved.qualname
+
+
+def _classify_globals(project: Project) -> None:
+    for module in project.modules.values():
+        for name, state in module.globals_.items():
+            value = module.global_values.get(name)
+            if value is None:
+                continue
+            kind, class_qualname = classify_value(project, module, value)
+            state.kind = kind
+            state.class_qualname = class_qualname
+            state.describe = _render_value(value)
+        # Shared class-level mutable attributes: ``class C: cache = {}``.
+        for cls in module.classes.values():
+            for stmt in cls.node.body:
+                targets: List[ast.expr] = []
+                value2: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value2 = list(stmt.targets), stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value2 = [stmt.target], stmt.value
+                if value2 is None:
+                    continue
+                kind, class_qualname = classify_value(project, module, value2)
+                if kind not in (KIND_CONTAINER, KIND_SINGLETON):
+                    continue
+                for target in targets:
+                    for attr in _target_names(target):
+                        if attr == "__slots__" or attr in cls.init_self_attrs:
+                            continue
+                        qualname = cls.qualname + "." + attr
+                        cls.mutable_attrs[attr] = qualname
+                        project.globals_[qualname] = GlobalState(
+                            qualname=qualname,
+                            module=module.name,
+                            name=cls.name + "." + attr,
+                            path=module.path,
+                            lineno=stmt.lineno,
+                            kind=kind,
+                            describe=_render_value(value2),
+                            class_qualname=class_qualname,
+                        )
+        for state in module.globals_.values():
+            project.globals_[state.qualname] = state
+
+
+def _ensure_declared_globals(project: Project) -> None:
+    """``global X`` in a function with no module-level binding still names
+    module state — register it so writes are attributable."""
+    for fn in list(project.functions.values()):
+        if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        module = project.modules[fn.module]
+        for node in scoped_walk(scope_roots(fn)):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    if name not in module.globals_:
+                        state = GlobalState(
+                            qualname=module.name + "." + name,
+                            module=module.name,
+                            name=name,
+                            path=module.path,
+                            lineno=fn.lineno,
+                            kind=KIND_OPAQUE,
+                            describe="bound only inside %s" % fn.name,
+                        )
+                        module.globals_[name] = state
+                        project.globals_[state.qualname] = state
+
+
+def parse_module(project: Project, file_path: Path, root: Path) -> Optional[ModuleInfo]:
+    """Parse one file into the project; None when it does not parse."""
+    try:
+        rel = file_path.relative_to(root)
+    except ValueError:
+        rel = file_path
+    source = file_path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError:
+        return None
+    name = module_name_for(rel)
+    module = ModuleInfo(
+        name=name, path=rel.as_posix(), tree=tree, lines=source.splitlines()
+    )
+    package = name if rel.name == "__init__.py" else name.rpartition(".")[0]
+    _record_imports(module, package)
+    module_fn = FunctionInfo(
+        module=name,
+        name=MODULE_FUNCTION,
+        qualname=name + "." + MODULE_FUNCTION,
+        node=tree,
+        lineno=1,
+    )
+    project.functions[module_fn.qualname] = module_fn
+    _collect_defs(project, module, tree.body, "", "", module_fn)
+    _module_globals(module)
+    project.modules[name] = module
+    return module
+
+
+def build_project(paths: Iterable[Path], root: Path) -> Project:
+    """Parse and link every Python file under ``paths`` into one model."""
+    from repro.analysis.linter import iter_python_files
+
+    project = Project(root=root)
+    for file_path in iter_python_files(paths):
+        parse_module(project, file_path, root)
+    _link_classes(project)
+    _classify_globals(project)
+    _ensure_declared_globals(project)
+    return project

@@ -1,0 +1,257 @@
+"""The C4xx concurrency rule family: facts + reachability -> Violations.
+
+These are *whole-program* rules — unlike the per-file D/P/H series they
+need the project model, so they live here rather than in
+``repro.analysis.rules``.  They emit the same :class:`Violation` records
+the engine already understands: per-line ``# lint-ok: C40x reason``
+suppressions and the line-drift-insensitive baseline work unchanged.
+
+* **C401** — a mutable module global (container, project-class singleton,
+  or unclassifiable value) is *mutated somewhere* and *accessed by a
+  function reachable from a concurrent entry point*.  The fix is scoping
+  the state into :class:`repro.simcontext.SimContext`; intentionally
+  process-wide state carries a suppression naming why it is safe.
+* **C402** — a write to a module global outside its module-level binding
+  site (``global X`` rebind, subscript/attribute store, aug-assign,
+  ``del``).  Reported at the write, concurrent or not: every such write
+  is a latent race once the caller moves onto a worker.
+* **C403** — a ``SimContext``-owned container (memo, registry stack,
+  words-hint) escapes its scope: returned from a function or stored into
+  a module global.  Context state outliving its context is exactly the
+  cross-worker sharing contexts exist to prevent.
+* **C404** — a context accessor (``current_context``, ``get_registry``,
+  ``current_stats``, …, or ``ContextVar.get``) called at import time:
+  the importing thread's context gets frozen into module scope for every
+  future context.
+* **C405** — lock-free check-then-act (``if <reads G>: <mutates G>``) on
+  a module global inside a concurrently-reachable function: the classic
+  lost-update/double-init race shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.raceguard.callgraph import CallGraph, describe_entry
+from repro.analysis.raceguard.facts import FunctionFacts
+from repro.analysis.raceguard.model import (
+    KIND_SCOPED,
+    MODULE_FUNCTION,
+    MUTABLE_KINDS,
+    Project,
+)
+from repro.analysis.rules.base import Violation
+
+
+@dataclass(frozen=True)
+class ConcurrencyRule:
+    """Catalogue entry for one whole-program rule (no per-file check)."""
+
+    rule_id: str
+    title: str
+    rationale: str
+
+
+CONCURRENCY_RULES: Tuple[ConcurrencyRule, ...] = (
+    ConcurrencyRule(
+        "C401",
+        "unscoped mutable global reachable from a concurrent entry point",
+        "Mutable module state touched by worker-reachable code races across "
+        "scopes; own it on SimContext (or justify why process-wide is safe).",
+    ),
+    ConcurrencyRule(
+        "C402",
+        "write to module global outside its module-level binding site",
+        "Function-level writes to module globals are latent races and break "
+        "scope isolation; prefer SimContext attributes or justify the write.",
+    ),
+    ConcurrencyRule(
+        "C403",
+        "SimContext-owned value escaping its scope",
+        "A memo/registry returned or stored into module scope outlives its "
+        "context and leaks one worker's state into another.",
+    ),
+    ConcurrencyRule(
+        "C404",
+        "context accessor called at import time",
+        "Import-time context resolution freezes the importing thread's "
+        "context into module scope for every future context.",
+    ),
+    ConcurrencyRule(
+        "C405",
+        "lock-free check-then-act on shared state",
+        "`if <reads G>: <mutates G>` without a lock in worker-reachable code "
+        "is the classic double-init/lost-update race shape.",
+    ),
+)
+
+
+def concurrency_catalogue() -> Dict[str, ConcurrencyRule]:
+    """Map rule id -> rule, in registration order (CLI ``--list-rules``)."""
+    return {rule.rule_id: rule for rule in CONCURRENCY_RULES}
+
+
+def _violation(
+    project: Project, rule_id: str, path: str, lineno: int, message: str
+) -> Violation:
+    line_text = ""
+    for module in project.modules.values():
+        if module.path == path:
+            line_text = module.line_text(lineno)
+            break
+    return Violation(
+        rule_id=rule_id, path=path, line=lineno, message=message, line_text=line_text
+    )
+
+
+def check_c401(
+    project: Project, facts: Dict[str, FunctionFacts], graph: CallGraph
+) -> Tuple[List[Violation], Set[str]]:
+    """Unscoped mutable globals in the concurrent region.
+
+    Returns the violations plus the set of flagged global qualnames (the
+    call-graph artifact marks them ``concurrent``).
+    """
+    readers: Dict[str, Set[str]] = {}
+    mutators: Dict[str, Set[str]] = {}
+    for function_facts in facts.values():
+        if function_facts.function.endswith("." + MODULE_FUNCTION):
+            continue
+        for qualname in function_facts.reads:
+            readers.setdefault(qualname, set()).add(function_facts.function)
+        for mutation in function_facts.mutations:
+            mutators.setdefault(mutation.target, set()).add(mutation.function)
+    violations: List[Violation] = []
+    flagged: Set[str] = set()
+    for qualname in sorted(project.globals_):
+        state = project.globals_[qualname]
+        if state.kind not in MUTABLE_KINDS:
+            continue
+        mutating = mutators.get(qualname, set())
+        if not mutating:
+            continue  # written only at import time: effectively a constant
+        accessors = readers.get(qualname, set()) | mutating
+        concurrent = sorted(fn for fn in accessors if graph.is_concurrent(fn))
+        if not concurrent:
+            continue
+        flagged.add(qualname)
+        witness = concurrent[0]
+        spawn = graph.reachable[witness]
+        chain = " -> ".join(graph.chain(witness))
+        mutation_site = sorted(mutating)[0]
+        violations.append(
+            _violation(
+                project,
+                "C401",
+                state.path,
+                state.lineno,
+                "mutable global '%s' (%s) is mutated by %s and reachable "
+                "from concurrent entry %s via %s; scope it into SimContext"
+                % (
+                    state.name,
+                    state.kind,
+                    mutation_site,
+                    describe_entry(spawn),
+                    chain,
+                ),
+            )
+        )
+    return violations, flagged
+
+
+def check_c402(
+    project: Project, facts: Dict[str, FunctionFacts]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for function_facts in facts.values():
+        for mutation in function_facts.mutations:
+            if mutation.kind == "call":
+                continue  # method-call mutation is C401's evidence, not a write
+            state = project.globals_.get(mutation.target)
+            if state is None or state.kind == KIND_SCOPED:
+                continue
+            violations.append(
+                _violation(
+                    project,
+                    "C402",
+                    mutation.path,
+                    mutation.lineno,
+                    "%s writes module global '%s' (%s) outside its "
+                    "module-level binding site"
+                    % (mutation.function, state.name, mutation.kind),
+                )
+            )
+    return violations
+
+
+def check_c403(project: Project, facts: Dict[str, FunctionFacts]) -> List[Violation]:
+    violations: List[Violation] = []
+    for function_facts in facts.values():
+        for escape in function_facts.escapes:
+            violations.append(
+                _violation(
+                    project,
+                    "C403",
+                    escape.path,
+                    escape.lineno,
+                    "%s lets the SimContext-owned '%s' escape its scope (%s)"
+                    % (escape.function, escape.attr, escape.how),
+                )
+            )
+    return violations
+
+
+def check_c404(project: Project, facts: Dict[str, FunctionFacts]) -> List[Violation]:
+    violations: List[Violation] = []
+    for function_facts in facts.values():
+        for access in function_facts.import_time:
+            violations.append(
+                _violation(
+                    project,
+                    "C404",
+                    access.path,
+                    access.lineno,
+                    "import-time call of context accessor %s binds the "
+                    "importing thread's context into module scope"
+                    % access.accessor,
+                )
+            )
+    return violations
+
+
+def check_c405(
+    project: Project, facts: Dict[str, FunctionFacts], graph: CallGraph
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for function_facts in facts.values():
+        if not graph.is_concurrent(function_facts.function):
+            continue
+        for candidate in function_facts.check_then_act:
+            state = project.globals_.get(candidate.target)
+            if state is None or state.kind == KIND_SCOPED:
+                continue
+            violations.append(
+                _violation(
+                    project,
+                    "C405",
+                    candidate.path,
+                    candidate.lineno,
+                    "%s checks then mutates module global '%s' without a "
+                    "lock in concurrently-reachable code"
+                    % (candidate.function, state.name),
+                )
+            )
+    return violations
+
+
+def check_all(
+    project: Project, facts: Dict[str, FunctionFacts], graph: CallGraph
+) -> Tuple[List[Violation], Set[str]]:
+    """Every C4xx violation (unsorted, unsuppressed) + flagged globals."""
+    violations, flagged = check_c401(project, facts, graph)
+    violations.extend(check_c402(project, facts))
+    violations.extend(check_c403(project, facts))
+    violations.extend(check_c404(project, facts))
+    violations.extend(check_c405(project, facts, graph))
+    return violations, flagged

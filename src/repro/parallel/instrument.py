@@ -152,7 +152,7 @@ class ExecutionStats:
 #: Process-default collector: what :func:`current_stats` resolves outside
 #: any :mod:`repro.simcontext` scope (the CLI and report layer reference
 #: this object directly, so the default context binds this very instance).
-EXECUTION_STATS = ExecutionStats()
+EXECUTION_STATS = ExecutionStats()  # lint-ok: C401 default-context identity; worker scopes resolve their own stats
 
 
 def current_stats() -> ExecutionStats:

@@ -37,7 +37,7 @@ _FINGERPRINT: Optional[str] = None
 def code_fingerprint() -> str:
     """Hash of all ``repro`` package sources (computed once per process)."""
     global _FINGERPRINT
-    if _FINGERPRINT is None:
+    if _FINGERPRINT is None:  # lint-ok: C405 idempotent: every racer computes
         import repro
 
         package_root = os.path.dirname(os.path.abspath(repro.__file__))
@@ -52,7 +52,7 @@ def code_fingerprint() -> str:
                 with open(path, "rb") as handle:
                     digest.update(handle.read())
                 digest.update(b"\x00")
-        _FINGERPRINT = digest.hexdigest()[:16]
+        _FINGERPRINT = digest.hexdigest()[:16]  # lint-ok: C402 pure-function cache
     return _FINGERPRINT
 
 

@@ -130,6 +130,9 @@ def _memoised_trace(
             scale_divisor=scale_divisor,
         )
         if key is not None:
+            sanitizer = get_sanitizer()
+            if sanitizer is not None:
+                sanitizer.check_context_owner(memo, "trace memo")
             if len(memo) >= _TRACE_MEMO_MAX:
                 memo.clear()
             memo[key] = trace
@@ -223,6 +226,9 @@ def _warm_simulator(
     md_sets = sim.hierarchy.metadata_cache._sets
     if cached is None:
         sim.warmup(warmup_traces)
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            sanitizer.check_context_owner(memo, "warm memo")
         if len(memo) >= _WARM_MEMO_MAX:
             memo.clear()
         memo[key] = (
@@ -267,7 +273,11 @@ def clear_run_memos() -> None:
 
 def _memo_put(key: str, serialized: str) -> None:
     """Store one cell in the context memo, counting any LRU evictions."""
-    evicted = current_context().run_memo.put(key, serialized)
+    memo = current_context().run_memo
+    sanitizer = get_sanitizer()
+    if sanitizer is not None:
+        sanitizer.check_context_owner(memo, "run memo")
+    evicted = memo.put(key, serialized)
     if evicted:
         current_stats().record_memo_evictions(evicted)
 

@@ -168,6 +168,28 @@ class SimContext:
         self.run_memo.clear()
         self.words_hint.clear()
 
+    def owns(self, container: object) -> bool:
+        """Whether ``container`` is one of this context's owned values.
+
+        Identity comparison against every slot (and each entry of the
+        registry stack) — the check the sanitizer's owner-context rule
+        uses to prove a memo/registry mutation is landing in the scope
+        that created it, not leaking across workers.
+        """
+        for value in (
+            self.registry_stack,
+            self.tracer,
+            self.stats,
+            self.aggregate,
+            self.trace_memo,
+            self.warm_memo,
+            self.run_memo,
+            self.words_hint,
+        ):
+            if container is value:
+                return True
+        return any(container is entry for entry in self.registry_stack)
+
     def __repr__(self) -> str:
         return "SimContext(%r)" % (self.name or "anonymous",)
 

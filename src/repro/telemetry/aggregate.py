@@ -105,7 +105,7 @@ class TelemetryAggregate:
 #: The process-default aggregate: what :func:`current_aggregate` resolves
 #: for code running outside any :mod:`repro.simcontext` scope (the CLI, the
 #: report layer and the tests all reference this object directly).
-TELEMETRY_AGGREGATE = TelemetryAggregate()
+TELEMETRY_AGGREGATE = TelemetryAggregate()  # lint-ok: C401 default-context identity; worker scopes get their own
 
 
 def current_aggregate() -> TelemetryAggregate:

@@ -300,8 +300,8 @@ _COLLECTION_ENABLED: Optional[bool] = None
 def collection_enabled() -> bool:
     """Whether telemetry collection is on in this process."""
     global _COLLECTION_ENABLED
-    if _COLLECTION_ENABLED is None:
-        _COLLECTION_ENABLED = _env_enabled()
+    if _COLLECTION_ENABLED is None:  # lint-ok: C405 idempotent lazy env read
+        _COLLECTION_ENABLED = _env_enabled()  # lint-ok: C402 process-wide flag
     return _COLLECTION_ENABLED
 
 
@@ -312,7 +312,7 @@ def configure(enabled: bool) -> None:
     :func:`cell_scope`); the currently active registry is untouched.
     """
     global _COLLECTION_ENABLED
-    _COLLECTION_ENABLED = bool(enabled)
+    _COLLECTION_ENABLED = bool(enabled)  # lint-ok: C402 config, not run state
 
 
 def get_registry() -> MetricsRegistry:
@@ -340,6 +340,11 @@ def scoped_registry(
     if not stack:
         stack.append(MetricsRegistry(enabled=collection_enabled()))
     registry = MetricsRegistry(enabled=enabled)
+    from repro.analysis.sanitizer import get_sanitizer
+
+    sanitizer = get_sanitizer()
+    if sanitizer is not None:
+        sanitizer.check_context_owner(stack, "registry stack")
     stack.append(registry)
     try:
         yield registry

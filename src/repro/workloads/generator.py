@@ -220,6 +220,13 @@ def generate_trace(
             break
         except IndexError:
             budget *= 2
+    from repro.analysis.sanitizer import get_sanitizer
+
+    sanitizer = get_sanitizer()
+    if sanitizer is not None:
+        # The hint table was resolved before the decode loop; prove it still
+        # belongs to the active context before writing into it.
+        sanitizer.check_context_owner(hints, "words-hint table")
     if len(hints) >= _WORDS_HINT_MAX:
         hints.clear()
     hints[hint_key] = consumed
