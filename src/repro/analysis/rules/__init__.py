@@ -26,6 +26,7 @@ from repro.analysis.rules.determinism import (
     UnorderedIterationRule,
 )
 from repro.analysis.rules.hotpath import (
+    AdHocProcessPoolRule,
     AttrOutsideInitRule,
     MissingSlotsRule,
     PerElementExtractionRule,
@@ -43,6 +44,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     AttrOutsideInitRule(),
     TelemetryInLoopRule(),
     PerElementExtractionRule(),
+    AdHocProcessPoolRule(),
     BroadExceptRule(),
     ShadowedBuiltinRule(),
 )

@@ -258,6 +258,34 @@ def _numpy_array_names(tree: ast.AST) -> Set[str]:
     return names
 
 
+class AdHocProcessPoolRule(Rule):
+    rule_id = "P205"
+    title = "ProcessPoolExecutor constructed outside repro.parallel"
+    rationale = (
+        "PR 10 made repro.parallel.pool the one owner of worker "
+        "processes: a pool constructed anywhere else pays spawn + module "
+        "re-import per call (the cost the persistent pool amortises), "
+        "escapes the fork-safety and shutdown bookkeeping, and its cells "
+        "bypass ExecutionStats. Fan out through parallel_map, or the "
+        "ephemeral pool_policy if a cold pool is genuinely required."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_package("parallel"):
+            return  # the pool module and the ephemeral baseline live here
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name.split(".")[-1] == "ProcessPoolExecutor":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "ProcessPoolExecutor constructed outside repro.parallel; "
+                    "use parallel_map (persistent pool) instead",
+                )
+
+
 class PerElementExtractionRule(Rule):
     rule_id = "P204"
     title = "per-element scalar extraction from a numpy array in a loop"

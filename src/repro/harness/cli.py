@@ -67,6 +67,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="ignore and do not populate the on-disk run cache",
     )
     parser.add_argument(
+        "--plan",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="('all' only) plan the whole run first: dedup the grid cells "
+        "every figure needs and execute the unique set in one fan-out "
+        "before assembling figures (--no-plan restores the legacy "
+        "figure-at-a-time loop)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=metrics_out_from_env(),
         metavar="PATH",
@@ -157,6 +166,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     TELEMETRY_AGGREGATE.reset()
+    plan_summary = None
+    if args.experiment == "all" and args.plan:
+        plan_summary = _prefetch(names, args, cache)
     for name in names:
         print("=" * 72)
         print("Experiment:", name)
@@ -178,6 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "experiments": names,
                 "scale": args.scale,
                 "jobs": args.jobs,
+                "plan": plan_summary,
                 "execution": EXECUTION_STATS.as_dict(),
             },
         )
@@ -186,6 +199,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         count = get_tracer().write_jsonl(args.trace_out)
         print("[%d trace event(s) written to %s]" % (count, args.trace_out))
     return 0
+
+
+def _prefetch(names: List[str], args: argparse.Namespace, cache) -> dict:
+    """Plan + execute the whole run's unique cells in one fan-out."""
+    from repro.harness.plan import execute_plan, plan_experiments
+
+    print("=" * 72)
+    print("Planned prefetch (whole-run dedup; --no-plan disables)")
+    print("=" * 72)
+    EXECUTION_STATS.reset()
+    started = time.perf_counter()
+    plan = plan_experiments(names, args.scale)
+    summary = execute_plan(plan, jobs=args.jobs, cache=cache)
+    print(
+        "[plan: %d cells requested, %d unique (%d deduped), "
+        "%d pending, jobs=%d]"
+        % (
+            summary["cells_requested"],
+            summary["cells_unique"],
+            summary["cells_deduped"],
+            summary["cells_pending"],
+            summary["jobs"],
+        )
+    )
+    print("[prefetch finished in %.1fs]" % (time.perf_counter() - started))
+    if EXECUTION_STATS.cells_executed:
+        print(render_execution_stats(EXECUTION_STATS))
+    print()
+    return summary
 
 
 def _comma_list(raw: Optional[str]) -> List[str]:

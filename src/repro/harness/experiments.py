@@ -579,7 +579,23 @@ def grid_experiment(
     config = _config(scale)
     baseline = named[0].name
     runs: Dict[str, Dict[str, object]] = {}
-    for seed in tuple(seeds) or (None,):
+    seed_list = tuple(seeds) or (None,)
+    if len(seed_list) > 1:
+        # Multi-seed sweeps repeat the same design x workload grid once
+        # per seed: prefetch the union in one planner fan-out so every
+        # per-seed run_suite below assembles from warm hits instead of
+        # paying its own pool spin-up and straggler tail.
+        from repro.harness.plan import CellSpec, execute_cells
+
+        execute_cells(
+            [
+                CellSpec(design, workload, config, seed=seed)
+                for seed in seed_list
+                for design in named
+                for workload in workloads
+            ]
+        )
+    for seed in seed_list:
         table = run_suite(named, workloads, config, seed=seed)
         run_label = "default" if seed is None else "seed=%d" % seed
         speedups = {
@@ -675,6 +691,7 @@ def run_experiment(
     quiet: bool = False,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
+    plan: bool = True,
 ) -> object:
     """Run one registered experiment under an execution-context override.
 
@@ -682,6 +699,17 @@ def run_experiment(
     :class:`ExperimentSpec` and defers to :func:`run_spec`, so the CLI,
     ``tools/run_experiments.py``, ``tools/bench_snapshot.py`` and the
     experiment service all execute requests through one validated path.
+
+    ``name="all"`` runs every registered experiment through the whole-run
+    planner (one globally-deduped fan-out, then per-figure assembly);
+    ``plan=False`` restores the legacy figure-at-a-time loop. ``plan`` is
+    ignored for single experiments.
     """
+    if name == "all":
+        from repro.harness.plan import run_all_experiments
+
+        return run_all_experiments(
+            scale=scale, quiet=quiet, jobs=jobs, cache=cache, plan=plan
+        )
     spec = ExperimentSpec(experiment=name, scale=resolve_scale(scale).name)
     return run_spec(spec, quiet=quiet, jobs=jobs, cache=cache)

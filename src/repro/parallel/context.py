@@ -4,8 +4,8 @@ Every fan-out point (``sim.runner.run_suite``, the Monte-Carlo shard loop)
 resolves its ``jobs``/``cache`` arguments against one process-global
 :class:`ExecutionContext`, so the CLI flags (``--jobs``, ``--no-cache``)
 and environment overrides (``REPRO_JOBS``, ``REPRO_CACHE``,
-``REPRO_CACHE_DIR``) steer every experiment without threading parameters
-through each figure function.
+``REPRO_CACHE_DIR``, ``REPRO_POOL``) steer every experiment without
+threading parameters through each figure function.
 """
 
 from __future__ import annotations
@@ -24,11 +24,21 @@ class ExecutionContext:
     jobs: int = 1  #: worker processes for grid/shard fan-out
     cache_enabled: bool = True  #: consult/populate the on-disk run cache
     cache_dir: Optional[str] = None  #: None -> default location
+    #: "persistent" routes jobs>1 maps through the shared warm pool
+    #: (repro.parallel.pool); "ephemeral" keeps the legacy spawn-per-call
+    #: executor — the benchmark baseline and an escape hatch.
+    pool_policy: str = "persistent"
 
 
 def default_jobs() -> int:
     """All available CPUs (the ``--jobs $(nproc)`` value)."""
     return os.cpu_count() or 1
+
+
+def _pool_policy_from_env(raw: Optional[str]) -> str:
+    if raw and raw.lower() in ("ephemeral", "0", "false", "no", "off"):
+        return "ephemeral"
+    return "persistent"
 
 
 def _from_env() -> ExecutionContext:
@@ -38,6 +48,7 @@ def _from_env() -> ExecutionContext:
         jobs=max(1, int(jobs)) if jobs else 1,
         cache_enabled=cache.lower() not in ("0", "false", "no", "off"),
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        pool_policy=_pool_policy_from_env(os.environ.get("REPRO_POOL")),
     )
 
 

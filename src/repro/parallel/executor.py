@@ -7,6 +7,12 @@ exactly the table a serial run would build. Determinism of the values
 themselves is the callee's job (every cell derives its RNG streams from
 explicit seeds, not shared state).
 
+``jobs > 1`` maps dispatch through the shared persistent pool
+(``repro.parallel.pool``) so consecutive fan-outs reuse warm workers;
+the context's ``pool_policy="ephemeral"`` restores the legacy
+spawn-per-call executor (the benchmark baseline). Either way the merge
+contract is identical — ``Executor.map`` yields in submission order.
+
 ``fn`` must be a module-level function and each item picklable (the
 standard ``ProcessPoolExecutor`` contract).
 """
@@ -16,6 +22,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.parallel.context import get_context
 from repro.parallel.instrument import ExecutionStats, current_stats
 
 _T = TypeVar("_T")
@@ -67,19 +74,30 @@ def parallel_map(
                 if progress is not None:
                     progress(index, label, result, elapsed)
         else:
-            from concurrent.futures import ProcessPoolExecutor
-
             tasks = [(fn, item) for item in items]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+
+            def drain(batches) -> None:
                 # Executor.map yields in submission order regardless of which
                 # worker finishes first: the deterministic-merge guarantee.
                 for index, (label, (result, elapsed)) in enumerate(
-                    zip(labels, pool.map(_timed_call, tasks))
+                    zip(labels, batches)
                 ):
                     stats.record_cell(label, elapsed)
                     outputs.append(result)
                     if progress is not None:
                         progress(index, label, result, elapsed)
+
+            if get_context().pool_policy == "ephemeral":
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    drain(pool.map(_timed_call, tasks))
+            else:
+                from repro.parallel.pool import get_pool
+
+                pool = get_pool(workers, stats=stats)
+                stats.record_pool_map()
+                drain(pool.map(_timed_call, tasks))
     finally:
         if items:
             stats.record_map(workers, time.perf_counter() - span_started)

@@ -31,9 +31,12 @@ class ExecutionStats:
         self._corrupt = self._registry.counter("exec.cache_corrupt")
         self._evictions = self._registry.counter("exec.cache_evictions")
         self._memo_evictions = self._registry.counter("exec.memo_evictions")
+        self._pool_spawns = self._registry.counter("exec.pool_spawns")
+        self._pool_maps = self._registry.counter("exec.pool_maps")
         self._cell_timer = self._registry.timer("exec.cell_seconds")
         self._span_timer = self._registry.timer("exec.span_seconds")
         self._capacity_timer = self._registry.timer("exec.capacity_seconds")
+        self._pool_spawn_timer = self._registry.timer("exec.pool_spawn_seconds")
         #: (label, seconds) per executed cell, in submission order
         self.cell_times: List[Tuple[str, float]] = []
         #: wall-clock spans of the fan-out calls and the jobs they used
@@ -72,6 +75,15 @@ class ExecutionStats:
         self._span_timer.record(span_seconds)
         self._capacity_timer.record(jobs * span_seconds)
 
+    def record_pool_spawn(self, seconds: float) -> None:
+        """One persistent-pool spawn (repro.parallel.pool.get_pool)."""
+        self._pool_spawns.inc()
+        self._pool_spawn_timer.record(seconds)
+
+    def record_pool_map(self) -> None:
+        """One batch dispatched through the persistent pool."""
+        self._pool_maps.inc()
+
     # -- derived metrics ----------------------------------------------------
 
     @property
@@ -98,6 +110,21 @@ class ExecutionStats:
     def memo_evictions(self) -> int:
         """In-memory cell-memo entries evicted by its byte budget."""
         return int(self._memo_evictions.value)
+
+    @property
+    def pool_spawns(self) -> int:
+        """Persistent-pool spawns (1 per whole-grid run when reuse works)."""
+        return int(self._pool_spawns.value)
+
+    @property
+    def pool_maps(self) -> int:
+        """Batches dispatched through the persistent pool."""
+        return int(self._pool_maps.value)
+
+    @property
+    def pool_spawn_seconds(self) -> float:
+        """Wall clock spent constructing persistent pools."""
+        return self._pool_spawn_timer.total_seconds
 
     @property
     def cells_executed(self) -> int:
@@ -138,6 +165,9 @@ class ExecutionStats:
             "cache_corrupt": self.cache_corrupt,
             "cache_evictions": self.cache_evictions,
             "memo_evictions": self.memo_evictions,
+            "pool_spawns": self.pool_spawns,
+            "pool_maps": self.pool_maps,
+            "pool_spawn_seconds": round(self.pool_spawn_seconds, 3),
             "cells_executed": self.cells_executed,
             "busy_seconds": round(self.busy_seconds, 3),
             "span_seconds": round(self.span_seconds, 3),

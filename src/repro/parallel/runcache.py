@@ -89,6 +89,20 @@ def cache_key(kind: str, **components: object) -> str:
     return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
 
 
+def cost_key(kind: str, **components: object) -> str:
+    """Fingerprint-*free* content address: the cost model's cell identity.
+
+    Identical to :func:`cache_key` minus the code version. Cache entries
+    die with every source edit (the only safe rule for results), but a
+    cell's *wall time* is a property of its shape, not of the exact code
+    revision — so recorded timings are keyed without the fingerprint and
+    keep seeding the planner's LPT schedule across code changes.
+    """
+    payload = {"kind": kind, "components": _canonical(components)}
+    serialised = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
+
+
 def default_cache_dir() -> str:
     """Cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/synergy-repro``."""
     return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
@@ -155,11 +169,29 @@ class RunCache:
             pass  # entry may have been evicted concurrently; hit still valid
         return payload
 
-    def put(self, key: str, payload: object) -> None:
-        """Store one cell result (atomic rename; concurrent-writer safe)."""
+    def has(self, key: str) -> bool:
+        """Whether an entry exists — a *silent* probe.
+
+        The planner scans the whole unique-cell list before dispatch;
+        counting those probes as hits/misses would double every counter
+        the assembly phase later records, so existence checks touch
+        neither the stats nor the entry's mtime.
+        """
+        return os.path.isfile(self.path_for(key))
+
+    def put(self, key: str, payload: object, meta: Optional[dict] = None) -> None:
+        """Store one cell result (atomic rename; concurrent-writer safe).
+
+        ``meta`` rides alongside the payload (e.g. ``{"seconds": ...}``,
+        the recorded wall time run_suite attaches) without perturbing it:
+        ``get`` returns the payload only, so metadata can never leak into
+        figure outputs.
+        """
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {"key": key, "fingerprint": code_fingerprint(), "payload": payload}
+        if meta:
+            entry["meta"] = meta
         descriptor, temp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
         )
@@ -172,6 +204,50 @@ class RunCache:
                 os.unlink(temp_path)
             raise
 
+    def meta(self, key: str) -> Optional[dict]:
+        """The entry's stored metadata, if any (silent, like :meth:`has`)."""
+        try:
+            with open(self.path_for(key), "r") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        found = entry.get("meta") if isinstance(entry, dict) else None
+        return found if isinstance(found, dict) else None
+
+    # -- cost-model timing sidecar ------------------------------------------
+    #
+    # Timings live under <root>/costs/, keyed by the fingerprint-free
+    # cost_key(), in their own subtree so entries()/clear()/__len__ (and
+    # therefore budget eviction) never mistake them for cell results.
+
+    def _cost_path(self, key: str) -> str:
+        return os.path.join(self.root, "costs", key[:2], key + ".json")
+
+    def record_timing(self, key: str, seconds: float) -> None:
+        """Record one cell's wall time under its cost key (last write wins)."""
+        path = self._cost_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump({"seconds": float(seconds)}, handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def timing(self, key: str) -> Optional[float]:
+        """The recorded wall seconds for a cost key, or ``None``."""
+        try:
+            with open(self._cost_path(key), "r") as handle:
+                entry = json.load(handle)
+            return float(entry["seconds"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
     def entries(self) -> list:
         """Every entry as ``(mtime, size_bytes, path)``, oldest first.
 
@@ -181,7 +257,9 @@ class RunCache:
         found = []
         if not os.path.isdir(self.root):
             return found
-        for directory, _dirs, files in os.walk(self.root):
+        for directory, dirs, files in os.walk(self.root):
+            if directory == self.root and "costs" in dirs:
+                dirs.remove("costs")  # timing sidecar: not cache entries
             for name in files:
                 if not name.endswith(".json"):
                     continue
@@ -224,11 +302,17 @@ class RunCache:
         return evicted
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Timing sidecar files survive: they are fingerprint-free cost
+        estimates, still valid after the results they came from are gone.
+        """
         removed = 0
         if not os.path.isdir(self.root):
             return removed
-        for directory, _dirs, files in os.walk(self.root):
+        for directory, dirs, files in os.walk(self.root):
+            if directory == self.root and "costs" in dirs:
+                dirs.remove("costs")
             for name in files:
                 if name.endswith(".json"):
                     os.unlink(os.path.join(directory, name))
@@ -239,7 +323,9 @@ class RunCache:
         count = 0
         if not os.path.isdir(self.root):
             return count
-        for _directory, _dirs, files in os.walk(self.root):
+        for directory, dirs, files in os.walk(self.root):
+            if directory == self.root and "costs" in dirs:
+                dirs.remove("costs")
             count += sum(1 for name in files if name.endswith(".json"))
         return count
 

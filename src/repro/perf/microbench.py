@@ -19,6 +19,8 @@ versions:
 * ``context_scope``     — :func:`repro.simcontext.sim_context` enter/exit
   plus context-resolved ``get_registry`` lookups: the dispatch overhead the
   scoped-context refactor added to every hot-path metric touch
+* ``pool_dispatch``     — repeated small ``parallel_map`` fan-outs through
+  the shared persistent pool (spawn amortisation + per-map round-trip)
 * ``trace_generate``    — vectorised workload-trace synthesis (sphinx3, 50k)
 * ``trace_generate_reference`` — the retained scalar trace generator on the
   same profile/length, kept as the speedup baseline for ``trace_generate``
@@ -280,6 +282,32 @@ def context_scope() -> int:
     return entries * (1 + lookups_per_entry)
 
 
+def _pool_noop(value: int) -> int:
+    """Worker-side payload for ``pool_dispatch``: pure dispatch overhead."""
+    return value
+
+
+def pool_dispatch() -> int:
+    """Round-trip latency of the persistent pool across repeated maps.
+
+    Times what a whole-grid run amortises: many small ``parallel_map``
+    fan-outs dispatched into the *same* warm pool (spawn paid once, on
+    the first map, inside the timed region — exactly the cost the
+    per-call executor used to pay on every map). Serial-path comparison
+    comes from the per-op numbers at jobs=1 in ``bench_snapshot``."""
+    from repro.parallel import parallel_map, shutdown_pool
+
+    maps = 20
+    items = list(range(32))
+    total = 0
+    try:
+        for _ in range(maps):
+            total += len(parallel_map(_pool_noop, items, jobs=2))
+    finally:
+        shutdown_pool()
+    return total
+
+
 #: Profile/length for the trace-generation pair. The two cases must stay in
 #: lock-step so ``trace_generate`` / ``trace_generate_reference`` is a
 #: meaningful speedup ratio. 50k records keeps the vectorised working set
@@ -323,6 +351,7 @@ CASES: Dict[str, Callable[[], int]] = {
     "miss_expansion_reference": miss_expansion_reference,
     "telemetry_record": telemetry_record,
     "context_scope": context_scope,
+    "pool_dispatch": pool_dispatch,
     "trace_generate": trace_generate,
     "trace_generate_reference": trace_generate_reference,
 }

@@ -99,7 +99,7 @@ class WorkerBridge:
                 self._tasks[slot] = loop.create_task(self._run(slot))
 
     async def stop(self) -> None:
-        """Stop every drain task and release the worker threads."""
+        """Stop every drain task and release the worker threads + pool."""
         tasks = [task for task in self._tasks.values() if not task.done()]
         for task in tasks:
             task.cancel()
@@ -110,6 +110,12 @@ class WorkerBridge:
                 pass
         self._tasks.clear()
         self._executor.shutdown(wait=False)
+        # Jobs with spec.jobs > 1 fan out through the shared persistent
+        # pool; join those workers with the service instead of leaving
+        # them to atexit.
+        from repro.parallel import shutdown_pool
+
+        shutdown_pool()
 
     async def _run(self, slot: int) -> None:
         # One long-lived simulation scope per slot: memos stay warm across
@@ -139,7 +145,9 @@ class WorkerBridge:
                     {"text": traceback.format_exc(limit=8)},
                 )
                 continue
-            self.manager.finish(job, canonical_result_bytes(payload))
+            # Enforce the cache budget *before* publishing the result:
+            # clients observe completion and a within-budget cache as one
+            # event, instead of racing the eviction scan.
             if self.cache_budget_bytes > 0 and self.manager.run_cache is not None:
                 assert self._budget_lock is not None
                 async with self._budget_lock:
@@ -148,6 +156,7 @@ class WorkerBridge:
                         self.manager.run_cache.enforce_budget,
                         self.cache_budget_bytes,
                     )
+            self.manager.finish(job, canonical_result_bytes(payload))
 
     # -- worker-thread body ---------------------------------------------------
 

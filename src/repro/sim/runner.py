@@ -24,7 +24,7 @@ from repro.parallel import (
     resolve_cache,
     resolve_jobs,
 )
-from repro.parallel.runcache import RunCache, cache_key
+from repro.parallel.runcache import RunCache, cache_key, cost_key
 from repro.secure.designs import SecureDesign
 from repro.sim.config import SystemConfig
 from repro.sim.energy import SystemEnergyParams, system_energy
@@ -364,6 +364,63 @@ def _cell_key(
     )
 
 
+def cell_key(
+    design: SecureDesign,
+    workload: Union[str, WorkloadProfile],
+    config: SystemConfig,
+    energy_params: Optional[SystemEnergyParams] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Public cell identity — what the whole-run planner dedups on.
+
+    Exactly the key ``run_suite`` consults, so a cell the planner executed
+    is a guaranteed memo/cache hit when a figure later assembles it.
+    """
+    return _cell_key(design, workload, config, energy_params, seed)
+
+
+def cell_cost_key(
+    design: SecureDesign,
+    workload: Union[str, WorkloadProfile],
+    config: SystemConfig,
+    energy_params: Optional[SystemEnergyParams] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Fingerprint-free identity for the cell's recorded wall time."""
+    return cost_key(
+        "run_workload",
+        design=design,
+        workload=workload,
+        config=config,
+        energy=energy_params or SystemEnergyParams(),
+        seed=seed,
+    )
+
+
+def _store_result(
+    run_cache: Optional[RunCache],
+    memo_on: bool,
+    key: Optional[str],
+    task: Tuple,
+    result: RunResult,
+    seconds: float,
+) -> None:
+    """Persist one executed cell: disk entry (with wall-time metadata and
+    the cost-model timing sidecar) plus the in-context memo."""
+    if key is None:
+        return
+    payload = result.to_payload()
+    if run_cache is not None:
+        run_cache.put(key, payload, meta={"seconds": round(seconds, 6)})
+        design, workload, config, energy_params, seed = task
+        run_cache.record_timing(
+            cell_cost_key(design, workload, config, energy_params, seed),
+            seconds,
+        )
+    if memo_on:
+        _memo_put(key, json.dumps(payload))
+
+
 def _run_cell(
     task: Tuple[
         SecureDesign,
@@ -483,33 +540,35 @@ def run_suite(
             progress(_cell_event(label, done, total, True, 0.0, result))
 
     if pending:
-        cell_progress_cb = None
-        if progress is not None:
-            emit = progress  # bind for the closure; progress stays Optional
+        emit = progress  # bind for the closure; progress stays Optional
+        cell_seconds: List[float] = []
 
-            def cell_progress_cb(index, label, result, elapsed):
-                nonlocal done
+        def cell_progress_cb(index, label, result, elapsed):
+            # Always capture the wall time (it feeds the stored entry's
+            # metadata and the planner's cost model); forward to the user
+            # callback only when one is installed.
+            nonlocal done
+            cell_seconds.append(elapsed)
+            if emit is not None:
                 done += 1
                 emit(_cell_event(label, done, total, False, elapsed, result))
 
+        tasks = [
+            (design, workload, config, energy_params, seed)
+            for (design, workload), _key, _label in pending
+        ]
         results = parallel_map(
             _run_cell,
-            [
-                (design, workload, config, energy_params, seed)
-                for (design, workload), _key, _label in pending
-            ],
+            tasks,
             jobs=jobs,
             labels=[label for _cell, _key, label in pending],
             progress=cell_progress_cb,
         )
-        for (cell, key, _label), result in zip(pending, results):
+        for (cell, key, _label), task, result, seconds in zip(
+            pending, tasks, results, cell_seconds
+        ):
             finished[cell] = result
-            if key is not None:
-                payload = result.to_payload()
-                if run_cache is not None:
-                    run_cache.put(key, payload)
-                if memo_on:
-                    _memo_put(key, json.dumps(payload))
+            _store_result(run_cache, memo_on, key, task, result, seconds)
 
     table = ResultTable()
     for cell in cells:
@@ -519,3 +578,58 @@ def run_suite(
         # completion order, and warm cache hits still contribute metrics.
         current_aggregate().add(result.design, result.telemetry)
     return table
+
+
+def run_cells(
+    tasks: List[Tuple],
+    labels: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache: Union[None, bool, str, RunCache] = None,
+) -> List[RunResult]:
+    """Execute grid cells *as given* and populate the memo + run cache.
+
+    The whole-run planner's dispatch primitive: unlike :func:`run_suite`
+    this neither probes nor dedups — the planner already did both — it
+    fans the tasks (``(design, workload, config, energy_params, seed)``
+    tuples) over ``jobs`` workers in the order supplied (the planner's
+    LPT order), stores each result exactly as ``run_suite`` would (disk
+    entry with wall-time metadata, cost-model timing, context memo), and
+    returns results in submission order.
+
+    Per-cell completion is streamed through the thread's
+    :func:`cell_progress` hook as ``cell`` events (``planned: True``), so
+    service jobs keep cell-granular progress and cancellation during a
+    planned prefetch.
+    """
+    if not tasks:
+        return []
+    jobs = resolve_jobs(jobs)
+    run_cache = resolve_cache(cache)
+    memo_on = get_sanitizer() is None
+    if labels is None:
+        labels = [
+            "%s/%s" % (task[0].name, _workload_label(task[1])) for task in tasks
+        ]
+    hook = _active_progress(None)
+    total = len(tasks)
+    cell_seconds: List[float] = []
+
+    def on_cell(index, label, result, elapsed):
+        cell_seconds.append(elapsed)
+        if hook is not None:
+            event = _cell_event(label, index + 1, total, False, elapsed, result)
+            event["planned"] = True
+            hook(event)
+
+    results = parallel_map(
+        _run_cell, tasks, jobs=jobs, labels=labels, progress=on_cell
+    )
+    for task, result, seconds in zip(tasks, results, cell_seconds):
+        design, workload, config, energy_params, seed = task
+        key = (
+            _cell_key(design, workload, config, energy_params, seed)
+            if run_cache is not None or memo_on
+            else None
+        )
+        _store_result(run_cache, memo_on, key, task, result, seconds)
+    return results

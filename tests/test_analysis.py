@@ -73,6 +73,13 @@ RULE_FIXTURES = {
         "        total += value.item()\n",
         "<memory>",
     ),
+    "P205": (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def fan_out(fn, items):\n"
+        "    with ProcessPoolExecutor(max_workers=4) as pool:\n"
+        "        return list(pool.map(fn, items))\n",
+        "src/repro/harness/fixture.py",
+    ),
     "H301": ("try:\n    work()\nexcept Exception:\n    pass\n", "<memory>"),
     "H302": ("def f(hash):\n    return hash\n", "<memory>"),
 }

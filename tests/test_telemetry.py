@@ -296,6 +296,9 @@ class TestExecutionStats:
             "cache_corrupt",
             "cache_evictions",
             "memo_evictions",
+            "pool_spawns",
+            "pool_maps",
+            "pool_spawn_seconds",
             "cells_executed",
             "busy_seconds",
             "span_seconds",
